@@ -1,0 +1,94 @@
+// Command isobench drives the cache-isolation studies: the §7 comparison
+// of CAT way-isolation vs slice isolation under a noisy neighbour, and the
+// hypervisor-style per-VM slice carving §7 proposes as future work.
+//
+// Usage:
+//
+//	isobench [-mode cat|vmm] [-ops 12000] [-noise 8] [-write]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cat"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/vmm"
+)
+
+func main() {
+	mode := flag.String("mode", "cat", "experiment: cat (Fig 17) or vmm (§7 hypervisor)")
+	ops := flag.Int("ops", 12000, "measured operations per application/VM")
+	noise := flag.Int("noise", 8, "noisy-neighbour accesses per main-app op (cat mode)")
+	write := flag.Bool("write", false, "measure the write variant (cat mode)")
+	flag.Parse()
+
+	switch *mode {
+	case "cat":
+		runCAT(*ops, *noise, *write)
+	case "vmm":
+		runVMM(*ops)
+	default:
+		fmt.Fprintf(os.Stderr, "isobench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runCAT(ops, noise int, write bool) {
+	kind := "read"
+	if write {
+		kind = "write"
+	}
+	fmt.Printf("CAT vs slice isolation (Xeon Gold 6134), %s ops, %d noise/op\n\n", kind, noise)
+	var times []float64
+	scenarios := []cat.Scenario{cat.NoCAT, cat.WayIsolated, cat.SliceIsolated}
+	for _, scen := range scenarios {
+		m, err := cpusim.NewMachine(arch.SkylakeGold6134())
+		check(err)
+		e, err := cat.New(m, cat.Config{Scenario: scen})
+		check(err)
+		e.Warmup()
+		res, err := e.Run(ops, noise, write, rand.New(rand.NewSource(11)))
+		check(err)
+		fmt.Printf("  %-17s %.3f ms  (DRAM rate %.1f%%)\n", scen, res.ExecTimeMs, res.MainDRAMRate*100)
+		times = append(times, res.ExecTimeMs)
+	}
+	fmt.Printf("\nslice isolation vs 2W CAT: %.1f%% faster (paper Fig 17: ≈11%%)\n",
+		(times[1]-times[2])/times[1]*100)
+}
+
+func runVMM(ops int) {
+	fmt.Println("hypervisor slice isolation (quiet 3 MB VM + noisy streaming VM, Gold 6134)")
+	fmt.Println()
+	for _, policy := range []vmm.Policy{vmm.Shared, vmm.SliceIsolated} {
+		m, err := cpusim.NewMachine(arch.SkylakeGold6134())
+		check(err)
+		h, err := vmm.New(m, policy)
+		check(err)
+		_, err = h.AddVM(vmm.VMConfig{Name: "quiet", Core: 0, WorkingSet: 3 << 20})
+		check(err)
+		_, err = h.AddVM(vmm.VMConfig{Name: "noisy", Core: 4, WorkingSet: 64 << 20, Noisy: true})
+		check(err)
+		h.Warmup()
+		res, err := h.Run(ops)
+		check(err)
+		fmt.Printf("  policy %-15s", policy)
+		for _, r := range res {
+			fmt.Printf("  %s: %.1f cyc/op", r.Name, r.CyclesPerOp)
+		}
+		fmt.Println()
+		for _, vm := range h.VMs() {
+			fmt.Printf("    %s slices: %v\n", vm.Name(), vm.Slices())
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isobench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command kvsbench runs the emulated key-value store of §3.1 under a
+// configurable workload and reports TPS — the building block behind Fig 8.
+//
+// Usage:
+//
+//	kvsbench [-keys 131072] [-get 1.0] [-skew 0.99|0 for uniform]
+//	         [-requests 50000] [-sliceaware]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/kvs"
+	"sliceaware/internal/zipf"
+)
+
+func main() {
+	keys := flag.Uint64("keys", 1<<17, "number of 64 B values")
+	getRatio := flag.Float64("get", 1.0, "GET fraction of the workload")
+	skew := flag.Float64("skew", 0.99, "Zipf skew; 0 selects the uniform distribution")
+	requests := flag.Int("requests", 50000, "measured requests (a half-size warm-up precedes)")
+	sliceAware := flag.Bool("sliceaware", false, "home hot values/index to the serving core's slice")
+	core := flag.Int("core", 0, "serving core")
+	flag.Parse()
+
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	check(err)
+	store, err := kvs.New(m, kvs.Config{Keys: *keys, ServingCore: *core, SliceAware: *sliceAware})
+	check(err)
+
+	var gen zipf.Generator
+	rng := rand.New(rand.NewSource(7))
+	if *skew > 0 {
+		gen, err = zipf.NewZipf(rng, *keys, *skew)
+	} else {
+		gen, err = zipf.NewUniform(rng, *keys)
+	}
+	check(err)
+
+	_, err = store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests / 2})
+	check(err)
+	res, err := store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests})
+	check(err)
+
+	mode := "normal"
+	if *sliceAware {
+		mode = fmt.Sprintf("slice-aware (slice %d)", store.PreferredSlice())
+	}
+	dist := "uniform"
+	if *skew > 0 {
+		dist = fmt.Sprintf("zipf(%.2f)", *skew)
+	}
+	fmt.Printf("KVS: %d keys, %s placement, %s keys, %.0f%% GET\n", *keys, mode, dist, *getRatio*100)
+	fmt.Printf("  %.3f M transactions/s  (%.1f cycles/request; %d GET, %d SET, %d dropped)\n",
+		res.TPSMillions, res.CyclesPerReq, res.Gets, res.Sets, res.Dropped)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvsbench:", err)
+		os.Exit(1)
+	}
+}

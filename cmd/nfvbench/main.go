@@ -1,0 +1,128 @@
+// Command nfvbench drives the simulated NFV testbed for one configuration
+// and prints the latency distribution and throughput — the building block
+// behind Figures 12–15.
+//
+// Usage:
+//
+//	nfvbench [-chain fwd|stateful] [-steering rss|fdir] [-gbps 100]
+//	         [-pps 0] [-packets 20000] [-cachedirector] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cachedirector"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+	"sliceaware/internal/netsim"
+	"sliceaware/internal/nfv"
+	"sliceaware/internal/stats"
+	"sliceaware/internal/trace"
+)
+
+func main() {
+	chainKind := flag.String("chain", "fwd", "application: fwd or stateful")
+	steeringFlag := flag.String("steering", "rss", "NIC steering: rss or fdir")
+	gbps := flag.Float64("gbps", 100, "offered load in Gbps (rate mode)")
+	pps := flag.Float64("pps", 0, "offered load in packets/s (overrides -gbps)")
+	packets := flag.Int("packets", 20000, "packets per run")
+	withCD := flag.Bool("cachedirector", false, "attach CacheDirector")
+	runs := flag.Int("runs", 3, "back-to-back runs (latencies pooled)")
+	pktSize := flag.Int("size", 0, "fixed frame size; 0 = campus mix")
+	flag.Parse()
+
+	steering := dpdk.RSS
+	if *steeringFlag == "fdir" {
+		steering = dpdk.FlowDirector
+	} else if *steeringFlag != "rss" {
+		fmt.Fprintf(os.Stderr, "nfvbench: unknown steering %q\n", *steeringFlag)
+		os.Exit(2)
+	}
+
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	check(err)
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 8, RingSize: 1024, PoolMbufs: 4096,
+		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: steering,
+	})
+	check(err)
+	if *withCD {
+		d, err := cachedirector.New(m, cachedirector.Config{})
+		check(err)
+		check(d.Attach(port))
+	}
+
+	var chain *nfv.Chain
+	overhead := uint64(netsim.DefaultOverheadCycles)
+	switch *chainKind {
+	case "fwd":
+		chain, err = nfv.NewChain("fwd", nfv.NewForwarder())
+		check(err)
+	case "stateful":
+		router, rerr := nfv.NewRouter(m.Space)
+		check(rerr)
+		check(router.PopulateDefaultAndRandom(3120))
+		router.HWOffload = true
+		napt, rerr := nfv.NewNAPT(m.Space, 1<<15, 0xc0a80001)
+		check(rerr)
+		lb, rerr := nfv.NewLoadBalancer(m.Space, 1<<15, 16)
+		check(rerr)
+		chain, err = nfv.NewChain("Router-NAPT-LB", router, napt, lb)
+		check(err)
+		overhead = netsim.MetronOverheadCycles
+	default:
+		fmt.Fprintf(os.Stderr, "nfvbench: unknown chain %q\n", *chainKind)
+		os.Exit(2)
+	}
+
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead})
+	check(err)
+
+	var lat []float64
+	var achieved []float64
+	var dropped uint64
+	for r := 0; r < *runs; r++ {
+		var gen trace.Generator
+		rng := rand.New(rand.NewSource(int64(1000 + r)))
+		if *pktSize > 0 {
+			gen, err = trace.NewFixedSize(rng, *pktSize, 1024)
+		} else {
+			gen, err = trace.NewCampusMix(rng, 4096)
+		}
+		check(err)
+		var out netsim.Result
+		if *pps > 0 {
+			out, err = netsim.RunPPS(dut, gen, *packets, *pps)
+		} else {
+			out, err = netsim.RunRate(dut, gen, *packets, *gbps)
+		}
+		check(err)
+		lat = append(lat, out.LatenciesNs...)
+		achieved = append(achieved, out.AchievedGbps)
+		dropped += out.Dropped
+		dut.Reset()
+		dut.Port().ResetStats()
+	}
+
+	s := stats.Summarize(lat)
+	cd := ""
+	if *withCD {
+		cd = " + CacheDirector"
+	}
+	fmt.Printf("%s (%s steering)%s — %d runs × %d packets\n", chain.Name(), steering, cd, *runs, *packets)
+	fmt.Printf("  throughput (median): %.2f Gbps, dropped %d\n", stats.Percentile(achieved, 50), dropped)
+	fmt.Printf("  DuT latency (ns): p50=%.0f p75=%.0f p90=%.0f p95=%.0f p99=%.0f mean=%.0f max=%.0f\n",
+		s.P50, s.P75, s.P90, s.P95, s.P99, s.Mean, s.Max)
+	fmt.Printf("  min loopback at this rate: %.0f ns (excluded above)\n", netsim.MinLoopbackNanos(*gbps))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nfvbench:", err)
+		os.Exit(1)
+	}
+}

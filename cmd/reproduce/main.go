@@ -1,0 +1,153 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation on the simulated testbed and prints them in paper-style rows.
+//
+// Usage:
+//
+//	reproduce [-scale quick|full] [-only T1,F4,F5,...] [-all]
+//
+// Paper artifacts: T1 F4 F5 F6 F7 F8 HR F12 F13 F14 T3 F15 F16 T4 F17
+// (T3 is derived from F13+F14 and runs them if not already selected).
+// Ablations/extensions (with -all or by ID): A-DDIO A-PLACE A-STEER
+// A-MULTI A-PF S6 S8V S8M S9C.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sliceaware/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "sample counts: quick or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all paper artifacts)")
+	allFlag := flag.Bool("all", false, "also run ablations and extensions (A-*, S*)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "reproduce: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("# Reproduction run (%s scale) — %s\n\n", scale, time.Now().Format(time.RFC3339))
+
+	exit := 0
+	show := func(id string, run func() (*experiments.Table, error)) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		tab, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s failed: %v\n", id, err)
+			exit = 1
+			return
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	show("T1", func() (*experiments.Table, error) { return experiments.Table1(), nil })
+	show("F4", func() (*experiments.Table, error) { _, t, err := experiments.Figure4(scale); return t, err })
+	show("F5", func() (*experiments.Table, error) { _, t, err := experiments.Figure5(scale); return t, err })
+	show("F6", func() (*experiments.Table, error) { _, t, err := experiments.Figure6(scale); return t, err })
+	show("F7", func() (*experiments.Table, error) { _, t, err := experiments.Figure7(scale); return t, err })
+	show("F8", func() (*experiments.Table, error) { _, t, err := experiments.Figure8(scale); return t, err })
+	show("HR", func() (*experiments.Table, error) { _, t, err := experiments.Headroom(scale); return t, err })
+	show("F12", func() (*experiments.Table, error) { _, t, err := experiments.Figure12(scale); return t, err })
+
+	var f13, f14 *experiments.NFVLatencyResult
+	show("F13", func() (*experiments.Table, error) {
+		res, t, err := experiments.Figure13(scale)
+		f13 = res
+		return t, err
+	})
+	show("F14", func() (*experiments.Table, error) {
+		res, t, err := experiments.Figure14(scale)
+		f14 = res
+		if err == nil {
+			experiments.CDFTable(res, 12).Fprint(os.Stdout)
+			fmt.Println(experiments.CDFPlot(res, 64, 64, 16))
+		}
+		return t, err
+	})
+	show("T3", func() (*experiments.Table, error) {
+		var err error
+		if f13 == nil {
+			f13, _, err = experiments.Figure13(scale)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if f14 == nil {
+			f14, _, err = experiments.Figure14(scale)
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, t := experiments.Table3From(f13, f14)
+		return t, nil
+	})
+	show("F15", func() (*experiments.Table, error) {
+		res, t, err := experiments.Figure15(scale)
+		if err == nil {
+			fmt.Println(experiments.KneePlot(res, 64, 16))
+		}
+		return t, err
+	})
+	show("F16", func() (*experiments.Table, error) { _, t, err := experiments.Figure16(scale); return t, err })
+	show("T4", func() (*experiments.Table, error) { _, t, err := experiments.Table4(); return t, err })
+	show("F17", func() (*experiments.Table, error) { _, t, err := experiments.Figure17(scale); return t, err })
+
+	// Ablations and extensions (run when selected explicitly, or with -all).
+	extSelected := func(id string) bool { return want[id] || (*allFlag && len(want) == 0) }
+	showExt := func(id string, run func() (*experiments.Table, error)) {
+		if !extSelected(id) {
+			return
+		}
+		start := time.Now()
+		tab, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s failed: %v\n", id, err)
+			exit = 1
+			return
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	showExt("A-DDIO", func() (*experiments.Table, error) { _, t, err := experiments.AblationDDIOWays(scale); return t, err })
+	showExt("A-PLACE", func() (*experiments.Table, error) { _, t, err := experiments.AblationPlacement(scale); return t, err })
+	showExt("A-STEER", func() (*experiments.Table, error) { _, t, err := experiments.AblationSteering(scale); return t, err })
+	showExt("A-MULTI", func() (*experiments.Table, error) { _, t, err := experiments.AblationMultiSlice(scale); return t, err })
+	showExt("A-PF", func() (*experiments.Table, error) { _, t, err := experiments.AblationPrefetch(scale); return t, err })
+	showExt("A-RP", func() (*experiments.Table, error) { _, t, err := experiments.AblationReplacement(scale); return t, err })
+	showExt("S6", func() (*experiments.Table, error) {
+		_, t, err := experiments.SkylakeCacheDirector(scale)
+		return t, err
+	})
+	showExt("S8V", func() (*experiments.Table, error) { _, t, err := experiments.LargeValueKVS(scale); return t, err })
+	showExt("S8M", func() (*experiments.Table, error) { _, t, err := experiments.HotMigration(scale); return t, err })
+	showExt("S9C", func() (*experiments.Table, error) { return experiments.PageColoringDemo() })
+	showExt("S7H", func() (*experiments.Table, error) { _, t, err := experiments.VMIsolation(scale); return t, err })
+	showExt("S8S", func() (*experiments.Table, error) { _, t, err := experiments.SharedDataPlacement(scale); return t, err })
+	showExt("S4V", func() (*experiments.Table, error) { _, t, err := experiments.OffsetTarget(scale); return t, err })
+
+	os.Exit(exit)
+}

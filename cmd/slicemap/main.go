@@ -1,0 +1,120 @@
+// Command slicemap explores the Complex Addressing of the simulated
+// processors: it prints the ground-truth/recovered hash matrix, polls the
+// slice of individual physical addresses the way §2.1 does, and dumps the
+// per-(core,slice) access-latency table.
+//
+// Usage:
+//
+//	slicemap [-cpu haswell|skylake] [-addr 0x12340] [-lines 16] [-recover]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/chash"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/interconnect"
+	"sliceaware/internal/reveng"
+)
+
+func main() {
+	cpu := flag.String("cpu", "haswell", "architecture: haswell or skylake")
+	addr := flag.Uint64("addr", 1<<30, "physical address to poll")
+	lines := flag.Int("lines", 16, "consecutive lines to map from -addr")
+	doRecover := flag.Bool("recover", false, "reverse-engineer the full hash matrix (haswell only)")
+	flag.Parse()
+
+	var prof *arch.Profile
+	switch *cpu {
+	case "haswell":
+		prof = arch.HaswellE52667v3()
+	case "skylake":
+		prof = arch.SkylakeGold6134()
+	default:
+		fmt.Fprintf(os.Stderr, "slicemap: unknown cpu %q\n", *cpu)
+		os.Exit(2)
+	}
+
+	m, err := cpusim.NewMachine(prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicemap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s — %d cores, %d LLC slices (%s interconnect, %s LLC)\n\n",
+		prof.Name, prof.Cores, prof.Slices, prof.Interconnect, prof.LLCMode)
+
+	prober := reveng.NewProber(m, 0)
+	prober.SetPolls(8)
+
+	fmt.Printf("Polled slice map from %#x (%d lines):\n", *addr, *lines)
+	mapped, err := prober.MapRegion(*addr, uint64(*lines)*64, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicemap:", err)
+		os.Exit(1)
+	}
+	for i, s := range mapped {
+		fmt.Printf("  %#x → slice %d\n", *addr+uint64(i)*64, s)
+	}
+	fmt.Println()
+
+	fmt.Println("Access-latency penalty (cycles over LLC base) per core × slice:")
+	fmt.Print("        ")
+	for s := 0; s < prof.Slices; s++ {
+		fmt.Printf("S%-3d", s)
+	}
+	fmt.Println()
+	for c := 0; c < prof.Cores; c++ {
+		fmt.Printf("  C%-4d ", c)
+		for s := 0; s < prof.Slices; s++ {
+			fmt.Printf("%-4d", m.Topo.Penalty(c, s))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	prefs := interconnect.Preferences(m.Topo)
+	fmt.Println("Preferred slices per core (primary | secondary tier):")
+	for _, p := range prefs {
+		fmt.Printf("  C%d: S%d |", p.Core, p.Primary)
+		for _, s := range p.Secondary {
+			fmt.Printf(" S%d", s)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	if *doRecover {
+		if !prof.PowerOfTwoSlices {
+			fmt.Println("hash recovery: skipped — the matrix construction of §2.1 needs 2ⁿ slices")
+			return
+		}
+		big, err := cpusim.NewMachineWithHashAndMemory(prof, m.LLC.Hash(), 512<<30)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slicemap:", err)
+			os.Exit(1)
+		}
+		p2 := reveng.NewProber(big, 0)
+		p2.SetPolls(8)
+		rec, err := reveng.RecoverXORHash(p2, prof.Slices, chash.AddressBits, rand.New(rand.NewSource(1)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slicemap: recovery failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Recovered hash matrix (verified %d/%d):\n", rec.Verified, rec.Checked)
+		for o, row := range rec.Hash.Matrix() {
+			fmt.Printf("  o%d: ", o)
+			for b := 6; b < chash.AddressBits; b++ {
+				if row[b] {
+					fmt.Print("X")
+				} else {
+					fmt.Print(".")
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

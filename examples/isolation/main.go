@@ -1,0 +1,50 @@
+// Isolation: the §7 experiment as a runnable example — protecting a
+// latency-sensitive application from a noisy neighbour on the Skylake
+// Gold 6134, comparing Intel CAT way-isolation against slice-aware
+// slice-isolation.
+//
+// Run with: go run ./examples/isolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cat"
+	"sliceaware/internal/cpusim"
+)
+
+func main() {
+	fmt.Println("main app: 2 MB working set on core 0; noisy neighbour streams 2×LLC on core 4")
+	fmt.Println()
+
+	const ops = 12000
+	times := map[cat.Scenario]float64{}
+	for _, scenario := range []cat.Scenario{cat.NoCAT, cat.WayIsolated, cat.SliceIsolated} {
+		machine, err := cpusim.NewMachine(arch.SkylakeGold6134())
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp, err := cat.New(machine, cat.Config{Scenario: scenario})
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp.Warmup()
+		res, err := exp.Run(ops, 8, false, rand.New(rand.NewSource(9)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[scenario] = res.ExecTimeMs
+		fmt.Printf("%-17s exec time %.3f ms   (DRAM rate %.1f%%)\n",
+			scenario, res.ExecTimeMs, res.MainDRAMRate*100)
+	}
+
+	fmt.Println()
+	fmt.Printf("way isolation recovers   %.1f%% vs no isolation\n",
+		(times[cat.NoCAT]-times[cat.WayIsolated])/times[cat.NoCAT]*100)
+	fmt.Printf("slice isolation is a further %.1f%% faster than 2-way CAT (Fig 17: ≈11%%),\n",
+		(times[cat.WayIsolated]-times[cat.SliceIsolated])/times[cat.WayIsolated]*100)
+	fmt.Println("using 5% of the LLC instead of 18% — the local slice is simply closer")
+}

@@ -1,0 +1,62 @@
+// KVstore: the §3.1 experiment as a runnable example — an emulated DPDK
+// key-value store serving a skewed (Zipf 0.99) GET workload, once with
+// normal allocation and once with slice-aware placement of the hot values
+// and index lines.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/kvs"
+	"sliceaware/internal/zipf"
+)
+
+func main() {
+	const (
+		keys     = 1 << 17
+		requests = 40000
+	)
+	fmt.Printf("emulated KVS: %d keys × 64 B values, single serving core, Zipf(0.99) GETs\n\n", keys)
+
+	var tps [2]float64
+	for i, sliceAware := range []bool{false, true} {
+		machine, err := cpusim.NewMachine(arch.HaswellE52667v3())
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err := kvs.New(machine, kvs.Config{
+			Keys:        keys,
+			ServingCore: 0,
+			SliceAware:  sliceAware,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := zipf.NewZipf(rand.New(rand.NewSource(42)), keys, 0.99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Warm to steady state, then measure.
+		if _, err := store.Run(kvs.Workload{GetRatio: 1, Keys: gen, Requests: requests / 2}); err != nil {
+			log.Fatal(err)
+		}
+		res, err := store.Run(kvs.Workload{GetRatio: 1, Keys: gen, Requests: requests})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "normal allocation   "
+		if sliceAware {
+			mode = fmt.Sprintf("slice-aware (slice %d)", store.PreferredSlice())
+		}
+		fmt.Printf("%s: %.3f M TPS (%.0f cycles/request)\n", mode, res.TPSMillions, res.CyclesPerReq)
+		tps[i] = res.TPSMillions
+	}
+	fmt.Printf("\nslice-aware placement serves %.1f%% more requests on the skewed workload\n",
+		(tps[1]-tps[0])/tps[0]*100)
+}

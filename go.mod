@@ -1,0 +1,3 @@
+module sliceaware
+
+go 1.22

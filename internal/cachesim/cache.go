@@ -1,0 +1,291 @@
+// Package cachesim implements a set-associative cache model with LRU
+// replacement, write-back dirty tracking, flush/invalidate, and per-request
+// way masking (the mechanism behind Intel Cache Allocation Technology).
+//
+// The model is state-only: it tracks which lines are present, not their
+// contents. Callers address it with line numbers (physical address >> 6).
+// The same type backs L1, L2 and each LLC slice; inclusion policy is
+// enforced one level up, in the cache-hierarchy walker.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WayMask restricts which ways an insertion may allocate into. Bit i set
+// means way i is allowed. AllWays imposes no restriction.
+type WayMask uint64
+
+// AllWays allows allocation into every way of the cache.
+const AllWays = WayMask(^uint64(0))
+
+// Stats counts cache events since construction or the last ResetStats.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Insertions uint64
+	Evictions  uint64 // valid lines displaced by insertions
+	Writebacks uint64 // dirty lines displaced or flushed
+}
+
+type entry struct {
+	line  uint64
+	age   uint64 // larger = more recently used
+	valid bool
+	dirty bool
+}
+
+// Cache is one set-associative cache. Not safe for concurrent use; the
+// simulated machine serializes accesses per cache.
+type Cache struct {
+	name     string
+	ways     int
+	sets     int
+	setMask  uint64
+	entries  []entry // sets × ways, row-major
+	clock    uint64
+	stats    Stats
+	occupied int
+
+	policy   Policy
+	bipCount uint64
+}
+
+// New creates a cache with the given geometry. sets must be a power of two.
+func New(name string, sets, ways int) (*Cache, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %s: sets must be a positive power of two, got %d", name, sets)
+	}
+	if ways <= 0 || ways > 64 {
+		return nil, fmt.Errorf("cachesim: %s: ways must be in 1..64, got %d", name, ways)
+	}
+	return &Cache{
+		name:    name,
+		ways:    ways,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, sets*ways),
+	}, nil
+}
+
+// MustNew is New that panics on error, for wiring up fixed geometries.
+func MustNew(name string, sets, ways int) *Cache {
+	c, err := New(name, sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Capacity returns the number of lines the cache can hold.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Len returns the number of valid lines currently cached.
+func (c *Cache) Len() int { return c.occupied }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache state.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setIndex(line uint64) int { return int(line & c.setMask) }
+
+func (c *Cache) set(idx int) []entry { return c.entries[idx*c.ways : (idx+1)*c.ways] }
+
+// Lookup probes for a line. On a hit the line becomes most recently used
+// and, if write is set, is marked dirty.
+func (c *Cache) Lookup(line uint64, write bool) bool {
+	set := c.set(c.setIndex(line))
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			c.clock++
+			set[i].age = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains probes for a line without perturbing LRU state or statistics.
+func (c *Cache) Contains(line uint64) bool {
+	set := c.set(c.setIndex(line))
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	Line    uint64
+	Dirty   bool
+	Evicted bool // false when the insertion used an empty way
+}
+
+// Insert allocates a line, evicting the LRU line among the ways permitted
+// by mask if the set is full there. If the line is already present it is
+// refreshed in place (its dirty bit ORs with dirty) and no victim results.
+func (c *Cache) Insert(line uint64, dirty bool, mask WayMask) Victim {
+	idx := c.setIndex(line)
+	set := c.set(idx)
+	c.clock++
+
+	// Already present: refresh.
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			set[i].age = c.clock
+			set[i].dirty = set[i].dirty || dirty
+			return Victim{}
+		}
+	}
+
+	c.stats.Insertions++
+
+	allowed := c.allowedWays(mask)
+	// Prefer an invalid allowed way.
+	victimWay := -1
+	for _, w := range allowed {
+		if !set[w].valid {
+			victimWay = w
+			break
+		}
+	}
+	var v Victim
+	if victimWay < 0 {
+		// Evict the LRU entry among allowed ways.
+		victimWay = allowed[0]
+		for _, w := range allowed[1:] {
+			if set[w].age < set[victimWay].age {
+				victimWay = w
+			}
+		}
+		v = Victim{Line: set[victimWay].line, Dirty: set[victimWay].dirty, Evicted: true}
+		c.stats.Evictions++
+		if v.Dirty {
+			c.stats.Writebacks++
+		}
+		c.occupied--
+	}
+	set[victimWay] = entry{line: line, age: c.insertionAge(), valid: true, dirty: dirty}
+	c.occupied++
+	return v
+}
+
+// allowedWays expands a mask into way indices; an empty mask degenerates to
+// all ways so a misconfigured CAT class cannot wedge the cache.
+func (c *Cache) allowedWays(mask WayMask) []int {
+	if mask == AllWays {
+		ws := make([]int, c.ways)
+		for i := range ws {
+			ws[i] = i
+		}
+		return ws
+	}
+	ws := make([]int, 0, bits.OnesCount64(uint64(mask)))
+	for w := 0; w < c.ways; w++ {
+		if mask&(1<<uint(w)) != 0 {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 {
+		for w := 0; w < c.ways; w++ {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// Invalidate removes a line if present, reporting whether it was there and
+// whether it was dirty (i.e. required write-back, as clflush does).
+func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
+	set := c.set(c.setIndex(line))
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			dirty = set[i].dirty
+			if dirty {
+				c.stats.Writebacks++
+			}
+			set[i] = entry{}
+			c.occupied--
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// FlushAll invalidates every line, returning the number of dirty lines
+// written back.
+func (c *Cache) FlushAll() (writebacks int) {
+	for i := range c.entries {
+		if c.entries[i].valid {
+			if c.entries[i].dirty {
+				writebacks++
+				c.stats.Writebacks++
+			}
+			c.entries[i] = entry{}
+		}
+	}
+	c.occupied = 0
+	return writebacks
+}
+
+// Lines returns all valid lines, useful for inclusion checks in tests.
+func (c *Cache) Lines() []uint64 {
+	out := make([]uint64, 0, c.occupied)
+	for i := range c.entries {
+		if c.entries[i].valid {
+			out = append(out, c.entries[i].line)
+		}
+	}
+	return out
+}
+
+// SetOccupancy returns the number of valid ways in the set holding line.
+func (c *Cache) SetOccupancy(line uint64) int {
+	set := c.set(c.setIndex(line))
+	n := 0
+	for i := range set {
+		if set[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// MaskOfWays builds a WayMask of the first n ways (CAT-style contiguous
+// low mask) — the "2W" configuration of §7 is MaskOfWays(2).
+func MaskOfWays(n int) WayMask {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return AllWays
+	}
+	return WayMask(1<<uint(n) - 1)
+}
+
+// MaskOfWayRange builds a WayMask covering ways [lo, hi).
+func MaskOfWayRange(lo, hi int) WayMask {
+	if hi <= lo {
+		return 0
+	}
+	return WayMask((uint64(1)<<uint(hi) - 1) &^ (uint64(1)<<uint(lo) - 1))
+}

@@ -1,0 +1,239 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := MustNew("t", 4, 2)
+	if c.Lookup(0, false) {
+		t.Error("hit in empty cache")
+	}
+	c.Insert(0, false, AllWays)
+	if !c.Lookup(0, false) {
+		t.Error("miss after insert")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew("t", 1, 2) // fully associative, 2 lines
+	c.Insert(1, false, AllWays)
+	c.Insert(2, false, AllWays)
+	c.Lookup(1, false) // 1 becomes MRU; 2 is now LRU
+	v := c.Insert(3, false, AllWays)
+	if !v.Evicted || v.Line != 2 {
+		t.Errorf("victim = %+v, want line 2 evicted", v)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Errorf("post-eviction contents wrong: %v", c.Lines())
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := MustNew("t", 1, 1)
+	c.Insert(1, false, AllWays)
+	c.Lookup(1, true) // store marks dirty
+	v := c.Insert(2, false, AllWays)
+	if !v.Evicted || !v.Dirty {
+		t.Errorf("dirty victim not reported: %+v", v)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestInsertRefreshesExisting(t *testing.T) {
+	c := MustNew("t", 1, 2)
+	c.Insert(1, false, AllWays)
+	c.Insert(2, false, AllWays)
+	v := c.Insert(1, true, AllWays) // refresh, now dirty and MRU
+	if v.Evicted {
+		t.Errorf("refresh evicted %+v", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	v = c.Insert(3, false, AllWays)
+	if v.Line != 2 {
+		t.Errorf("LRU after refresh should be 2, evicted %d", v.Line)
+	}
+	// line 1 must have kept its dirty bit through the refresh
+	_, dirty := c.Invalidate(1)
+	if !dirty {
+		t.Error("refresh lost the dirty bit")
+	}
+}
+
+func TestWayMaskConfinesAllocation(t *testing.T) {
+	c := MustNew("t", 1, 4)
+	low := MaskOfWays(2)             // ways 0,1
+	high := MaskOfWayRange(2, 4)     // ways 2,3
+	for i := uint64(0); i < 8; i++ { // 8 inserts through 2 allowed ways
+		c.Insert(100+i, false, low)
+	}
+	// Only 2 lines can survive in the low partition.
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2 (mask must confine)", got)
+	}
+	c.Insert(1, false, high)
+	c.Insert(2, false, high)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// Filling the high partition further must never displace low lines.
+	c.Insert(3, false, high)
+	if !c.Contains(106) || !c.Contains(107) {
+		t.Error("high-partition insert displaced low-partition lines")
+	}
+}
+
+func TestEmptyMaskFallsBackToAllWays(t *testing.T) {
+	c := MustNew("t", 1, 2)
+	c.Insert(1, false, 0)
+	c.Insert(2, false, 0)
+	if c.Len() != 2 {
+		t.Errorf("empty mask wedged allocation: Len = %d", c.Len())
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := MustNew("t", 2, 2)
+	c.Insert(0, true, AllWays)
+	c.Insert(1, false, AllWays)
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Errorf("Invalidate(0) = %v,%v want true,true", present, dirty)
+	}
+	present, _ = c.Invalidate(0)
+	if present {
+		t.Error("double invalidate reported present")
+	}
+	c.Insert(2, true, AllWays)
+	if wb := c.FlushAll(); wb != 1 {
+		t.Errorf("FlushAll writebacks = %d, want 1", wb)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after flush = %d", c.Len())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("t", 3, 2); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := New("t", 0, 2); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := New("t", 4, 0); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New("t", 4, 65); err == nil {
+		t.Error("65 ways accepted")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a just-inserted line is
+// always present.
+func TestOccupancyInvariant(t *testing.T) {
+	c := MustNew("t", 8, 4)
+	f := func(lines []uint64) bool {
+		for _, l := range lines {
+			c.Insert(l, l%3 == 0, AllWays)
+			if !c.Contains(l) {
+				return false
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no duplicate lines ever exist in the cache.
+func TestNoDuplicateLines(t *testing.T) {
+	c := MustNew("t", 4, 4)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		l := rng.Uint64() % 64
+		switch rng.Intn(3) {
+		case 0:
+			c.Insert(l, rng.Intn(2) == 0, AllWays)
+		case 1:
+			c.Lookup(l, rng.Intn(2) == 0)
+		case 2:
+			c.Invalidate(l)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, l := range c.Lines() {
+		if seen[l] {
+			t.Fatalf("duplicate line %d", l)
+		}
+		seen[l] = true
+	}
+	if len(seen) != c.Len() {
+		t.Errorf("Len = %d but %d distinct lines", c.Len(), len(seen))
+	}
+}
+
+// Property: a line inserted into set s lands only where its index maps;
+// lines with different set indices never evict each other.
+func TestSetIsolation(t *testing.T) {
+	c := MustNew("t", 4, 1)
+	c.Insert(0, false, AllWays) // set 0
+	c.Insert(1, false, AllWays) // set 1
+	c.Insert(4, false, AllWays) // set 0 again → evicts 0, not 1
+	if c.Contains(0) {
+		t.Error("line 0 survived a conflicting insert")
+	}
+	if !c.Contains(1) {
+		t.Error("line 1 was evicted by a different set's insert")
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	if MaskOfWays(0) != 0 {
+		t.Error("MaskOfWays(0) != 0")
+	}
+	if MaskOfWays(2) != 0b11 {
+		t.Errorf("MaskOfWays(2) = %b", MaskOfWays(2))
+	}
+	if MaskOfWays(64) != AllWays || MaskOfWays(100) != AllWays {
+		t.Error("MaskOfWays should saturate at AllWays")
+	}
+	if MaskOfWayRange(2, 4) != 0b1100 {
+		t.Errorf("MaskOfWayRange(2,4) = %b", MaskOfWayRange(2, 4))
+	}
+	if MaskOfWayRange(4, 2) != 0 {
+		t.Error("inverted range should be empty")
+	}
+}
+
+func TestSetOccupancyAndResetStats(t *testing.T) {
+	c := MustNew("t", 2, 2)
+	c.Insert(0, false, AllWays)
+	c.Insert(2, false, AllWays) // same set (index 0)
+	if got := c.SetOccupancy(4); got != 2 {
+		t.Errorf("SetOccupancy = %d, want 2", got)
+	}
+	if got := c.SetOccupancy(1); got != 0 {
+		t.Errorf("SetOccupancy(other set) = %d, want 0", got)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats left counters")
+	}
+	if c.Name() != "t" || c.Ways() != 2 || c.Sets() != 2 {
+		t.Error("accessors broken")
+	}
+}

@@ -1,0 +1,136 @@
+package cat
+
+import (
+	"testing"
+
+	"sliceaware/internal/cachesim"
+)
+
+func TestControllerDefaults(t *testing.T) {
+	m := newSkylake(t)
+	c, err := NewController(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCOS() != 4 {
+		t.Errorf("NumCOS = %d", c.NumCOS())
+	}
+	// Every COS starts with the full 11-way mask; every core in COS0.
+	for cos := 0; cos < 4; cos++ {
+		w, err := c.WaysOf(cos)
+		if err != nil || w != 11 {
+			t.Errorf("COS%d ways = %d, %v", cos, w, err)
+		}
+	}
+	for core := 0; core < m.Cores(); core++ {
+		if cos, _ := c.COSOf(core); cos != 0 {
+			t.Errorf("core %d starts in COS%d", core, cos)
+		}
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	m := newSkylake(t)
+	if _, err := NewController(m, 0); err == nil {
+		t.Error("0 COS accepted")
+	}
+	if _, err := NewController(m, 17); err == nil {
+		t.Error("17 COS accepted")
+	}
+	c, err := NewController(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCapacityMask(0, 0); err == nil {
+		t.Error("empty mask accepted")
+	}
+	if err := c.SetCapacityMask(0, 1<<12); err == nil {
+		t.Error("mask beyond 11 ways accepted")
+	}
+	if err := c.SetCapacityMask(0, 0b101); err == nil {
+		t.Error("non-contiguous mask accepted (hardware requires contiguity)")
+	}
+	if err := c.SetCapacityMask(9, 0b11); err == nil {
+		t.Error("bad COS accepted")
+	}
+	if err := c.Associate(99, 0); err == nil {
+		t.Error("bad core accepted")
+	}
+	if err := c.Associate(0, 9); err == nil {
+		t.Error("bad COS accepted")
+	}
+	if _, err := c.Mask(9); err == nil {
+		t.Error("Mask(9) accepted")
+	}
+	if _, err := c.COSOf(99); err == nil {
+		t.Error("COSOf(99) accepted")
+	}
+	if _, err := c.WaysOf(-1); err == nil {
+		t.Error("WaysOf(-1) accepted")
+	}
+}
+
+func TestControllerIsolatesFills(t *testing.T) {
+	m := newSkylake(t)
+	c, err := NewController(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COS1 = low 2 ways for core 0; COS2 = the rest for core 1.
+	if err := c.SetCapacityMask(1, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCapacityMask(2, uint64(cachesim.MaskOfWayRange(2, 11))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Associate(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Associate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := c.WaysOf(1); w != 2 {
+		t.Errorf("COS1 ways = %d", w)
+	}
+	if cos, _ := c.COSOf(0); cos != 1 {
+		t.Errorf("core 0 in COS%d", cos)
+	}
+
+	// Re-programming a mask must re-apply to already-associated cores:
+	// verified through observable fill behaviour — core 0 streams many
+	// same-set lines; only its 2 ways' worth survive in the LLC.
+	mp, err := m.Space.MapHugepage1G()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mp.PhysBase
+	slice := m.LLC.SliceOf(target)
+	stride := uint64(m.Profile.LLCSlice.Sets() * 64)
+	var addrs []uint64
+	for a := target; len(addrs) < 8 && a < mp.PhysBase+mp.Size; a += stride {
+		if m.LLC.SliceOf(a) == slice {
+			addrs = append(addrs, a)
+		}
+	}
+	core := m.Core(0)
+	// Skylake is non-inclusive: push lines into the LLC via L2 eviction.
+	for _, a := range addrs {
+		core.ReadPhys(a)
+	}
+	l2Stride := uint64(m.Profile.L2.Sets() * 64)
+	for w := 1; w <= m.Profile.L2.Ways+1; w++ {
+		core.ReadPhys(target + 63*stride + uint64(w)*l2Stride)
+	}
+	for _, a := range addrs {
+		core.ReadPhys(a) // cycle again to force LLC insertions
+	}
+	live := 0
+	for _, a := range addrs {
+		if m.LLC.Contains(a) {
+			live++
+		}
+	}
+	if live > 2 {
+		t.Errorf("%d lines live in a 2-way COS set, want ≤2", live)
+	}
+}

@@ -1,0 +1,23 @@
+package chash_test
+
+import (
+	"fmt"
+
+	"sliceaware/internal/chash"
+)
+
+// Example evaluates the reverse-engineered Haswell hash: consecutive
+// cache lines land on different slices — the bandwidth-spreading behaviour
+// slice-aware software must work around.
+func Example() {
+	h := chash.Haswell8()
+	base := uint64(1 << 30)
+	for i := uint64(0); i < 4; i++ {
+		fmt.Printf("line %#x → slice %d\n", base+i*64, h.Slice(base+i*64))
+	}
+	// Output:
+	// line 0x40000000 → slice 5
+	// line 0x40000040 → slice 4
+	// line 0x40000080 → slice 7
+	// line 0x400000c0 → slice 6
+}

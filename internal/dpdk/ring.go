@@ -1,0 +1,82 @@
+package dpdk
+
+import "fmt"
+
+// Ring is a fixed-capacity FIFO of mbufs — librte_ring as used for RX/TX
+// queues. The simulated machine is single-threaded, so no atomics are
+// needed; semantics (bounded, drop-on-full burst enqueue) match DPDK.
+type Ring struct {
+	name string
+	buf  []*Mbuf
+	head int // dequeue position
+	tail int // enqueue position
+	n    int // occupancy
+}
+
+// NewRing builds a ring with the given capacity (must be positive).
+func NewRing(name string, capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("dpdk: ring %q: capacity must be positive, got %d", name, capacity)
+	}
+	return &Ring{name: name, buf: make([]*Mbuf, capacity)}, nil
+}
+
+// Name returns the ring name.
+func (r *Ring) Name() string { return r.name }
+
+// Capacity returns the maximum occupancy.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Len returns the current occupancy.
+func (r *Ring) Len() int { return r.n }
+
+// Free returns remaining space.
+func (r *Ring) Free() int { return len(r.buf) - r.n }
+
+// Enqueue adds one mbuf; false when full.
+func (r *Ring) Enqueue(m *Mbuf) bool {
+	if r.n == len(r.buf) {
+		return false
+	}
+	r.buf[r.tail] = m
+	r.tail = (r.tail + 1) % len(r.buf)
+	r.n++
+	return true
+}
+
+// EnqueueBurst adds as many of ms as fit, returning the count enqueued.
+func (r *Ring) EnqueueBurst(ms []*Mbuf) int {
+	for i, m := range ms {
+		if !r.Enqueue(m) {
+			return i
+		}
+	}
+	return len(ms)
+}
+
+// Dequeue removes one mbuf; nil when empty.
+func (r *Ring) Dequeue() *Mbuf {
+	if r.n == 0 {
+		return nil
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return m
+}
+
+// DequeueBurst removes up to max mbufs into a fresh slice.
+func (r *Ring) DequeueBurst(max int) []*Mbuf {
+	if max > r.n {
+		max = r.n
+	}
+	if max <= 0 {
+		return nil
+	}
+	out := make([]*Mbuf, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, r.Dequeue())
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness builds the simulated testbed it needs,
+// runs the workload, and returns a structured result that renders as a
+// paper-style table (cmd/reproduce prints them; bench_test.go wraps them
+// as benchmarks; EXPERIMENTS.md records paper-vs-measured).
+//
+// Every harness takes a Scale: Quick keeps unit-test latency, Full runs
+// the publication-quality sample counts.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale selects sample counts.
+type Scale int
+
+const (
+	// Quick is sized for tests and smoke runs.
+	Quick Scale = iota
+	// Full is sized for report-quality numbers.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "F5" or "T3"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

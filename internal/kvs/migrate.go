@@ -1,0 +1,142 @@
+package kvs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hot-data monitoring and migration (§8): applications whose hot set
+// shifts over time "should employ monitoring/migration techniques to deal
+// with variability of hot data". The tracker counts per-key accesses per
+// epoch; MigrateTopK then swaps the storage of the hottest keys into the
+// serving core's slice, paying the copy cost on the serving core.
+
+// EnableHotTracking starts per-key access counting. Counting itself is
+// modelled as free (a few bits folded into the existing index write).
+func (s *Store) EnableHotTracking() {
+	if s.hotCounts == nil {
+		s.hotCounts = make([]uint32, s.cfg.Keys)
+	}
+}
+
+// HotTrackingEnabled reports whether counting is active.
+func (s *Store) HotTrackingEnabled() bool { return s.hotCounts != nil }
+
+// ResetEpoch zeroes the access counters (epoch boundary).
+func (s *Store) ResetEpoch() {
+	for i := range s.hotCounts {
+		s.hotCounts[i] = 0
+	}
+}
+
+// AccessCount returns a key's count in the current epoch.
+func (s *Store) AccessCount(key uint64) uint32 {
+	if s.hotCounts == nil || key >= uint64(len(s.hotCounts)) {
+		return 0
+	}
+	return s.hotCounts[key]
+}
+
+// sliceHomed reports whether a key's value currently lives entirely in the
+// preferred slice.
+func (s *Store) sliceHomed(key uint64) bool {
+	target := s.PreferredSlice()
+	for _, va := range s.valueLines(key) {
+		pa, err := s.machine.Space.Translate(va)
+		if err != nil || s.machine.LLC.Hash().Slice(pa) != target {
+			return false
+		}
+	}
+	return true
+}
+
+// MigrationResult reports one MigrateTopK call.
+type MigrationResult struct {
+	Migrated int    // keys whose storage moved into the preferred slice
+	Evicted  int    // previously slice-homed keys displaced to make room
+	Cycles   uint64 // copy cost charged to the serving core
+}
+
+// MigrateTopK moves the storage of the K most-accessed keys of the current
+// epoch into the preferred slice by swapping line sets with the least-
+// accessed currently-slice-homed keys. Each swapped line costs two reads
+// and two writes on the serving core (copy out, copy in).
+func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
+	if s.hotCounts == nil {
+		return MigrationResult{}, fmt.Errorf("kvs: hot tracking not enabled")
+	}
+	if !s.cfg.SliceAware {
+		return MigrationResult{}, fmt.Errorf("kvs: migration needs a slice-aware store")
+	}
+	if k <= 0 {
+		return MigrationResult{}, fmt.Errorf("kvs: non-positive k")
+	}
+
+	// Rank keys by epoch count.
+	order := make([]uint64, s.cfg.Keys)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.hotCounts[order[a]] > s.hotCounts[order[b]]
+	})
+
+	// Donors: slice-homed keys, coldest first.
+	var donors []uint64
+	for i := len(order) - 1; i >= 0; i-- {
+		if s.sliceHomed(order[i]) {
+			donors = append(donors, order[i])
+		}
+	}
+
+	res := MigrationResult{}
+	start := s.core.Cycles()
+	di := 0
+	for _, key := range order[:min64(k, len(order))] {
+		if s.hotCounts[key] == 0 || s.sliceHomed(key) {
+			continue
+		}
+		// Find a donor colder than this key.
+		for di < len(donors) && (donors[di] == key || s.hotCounts[donors[di]] >= s.hotCounts[key]) {
+			di++
+		}
+		if di >= len(donors) {
+			break
+		}
+		donor := donors[di]
+		di++
+		s.swapValueStorage(key, donor)
+		res.Migrated++
+		res.Evicted++
+	}
+	res.Cycles = s.core.Cycles() - start
+	return res, nil
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// swapValueStorage exchanges the backing lines of two keys, charging the
+// copy traffic (read both, write both — a line-by-line exchange through
+// registers) to the serving core.
+func (s *Store) swapValueStorage(a, b uint64) {
+	la := s.valueLines(a)
+	lb := s.valueLines(b)
+	for i := range la {
+		s.core.Read(la[i])
+		s.core.Read(lb[i])
+		s.core.Write(la[i])
+		s.core.Write(lb[i])
+	}
+	// Exchange the address mappings.
+	lp := s.linesPerValue()
+	for i := 0; i < lp; i++ {
+		ai := int(a)*lp + i
+		bi := int(b)*lp + i
+		s.valueAddr[ai], s.valueAddr[bi] = s.valueAddr[bi], s.valueAddr[ai]
+	}
+}

@@ -1,0 +1,178 @@
+// Package llc assembles the sliced Last Level Cache: N independent
+// set-associative slices, the Complex Addressing hash that distributes
+// physical lines among them, per-slice CBo performance counters, and the
+// DDIO path that lets simulated NIC DMA allocate directly into a limited
+// number of LLC ways.
+package llc
+
+import (
+	"fmt"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cachesim"
+	"sliceaware/internal/chash"
+)
+
+// CBoEvents mirrors the uncore counters each slice exposes (§2). The
+// reverse-engineering methodology of §2.1 relies on Lookups.
+type CBoEvents struct {
+	Lookups   uint64 // every probe that reached this slice
+	Misses    uint64 // probes that missed
+	DDIOFills uint64 // lines allocated by DMA
+	Evictions uint64 // valid lines displaced
+}
+
+// SlicedLLC is the shared last-level cache of one socket.
+type SlicedLLC struct {
+	hash     chash.Hash
+	slices   []*cachesim.Cache
+	events   []CBoEvents
+	ddioMask cachesim.WayMask
+	lineBits uint
+}
+
+// New builds the LLC for a profile with the given hash. The hash's slice
+// count must match the profile.
+func New(p *arch.Profile, h chash.Hash) (*SlicedLLC, error) {
+	if h.Slices() != p.Slices {
+		return nil, fmt.Errorf("llc: hash covers %d slices, profile has %d", h.Slices(), p.Slices)
+	}
+	l := &SlicedLLC{
+		hash:     h,
+		slices:   make([]*cachesim.Cache, p.Slices),
+		events:   make([]CBoEvents, p.Slices),
+		ddioMask: cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
+		lineBits: 6,
+	}
+	for i := range l.slices {
+		c, err := cachesim.New(fmt.Sprintf("LLC-slice-%d", i), p.LLCSlice.Sets(), p.LLCSlice.Ways)
+		if err != nil {
+			return nil, err
+		}
+		l.slices[i] = c
+	}
+	return l, nil
+}
+
+// Slices returns the number of slices.
+func (l *SlicedLLC) Slices() int { return len(l.slices) }
+
+// Hash exposes the Complex Addressing function (the simulator's ground
+// truth; reverse-engineering code must not touch it).
+func (l *SlicedLLC) Hash() chash.Hash { return l.hash }
+
+// SliceOf returns the slice a physical address maps to.
+func (l *SlicedLLC) SliceOf(pa uint64) int { return l.hash.Slice(pa) }
+
+// line converts a physical address to a line number.
+func (l *SlicedLLC) line(pa uint64) uint64 { return pa >> l.lineBits }
+
+// Lookup probes the owning slice for pa. It returns whether it hit and
+// which slice served the probe. CBo lookup counters advance either way —
+// that observability is what makes polling-based reverse engineering work.
+func (l *SlicedLLC) Lookup(pa uint64, write bool) (hit bool, slice int) {
+	slice = l.SliceOf(pa)
+	l.events[slice].Lookups++
+	hit = l.slices[slice].Lookup(l.line(pa), write)
+	if !hit {
+		l.events[slice].Misses++
+	}
+	return hit, slice
+}
+
+// Contains probes without disturbing LRU state or counters.
+func (l *SlicedLLC) Contains(pa uint64) bool {
+	return l.slices[l.SliceOf(pa)].Contains(l.line(pa))
+}
+
+// Insert fills pa into its slice under the way mask, returning the victim.
+func (l *SlicedLLC) Insert(pa uint64, dirty bool, mask cachesim.WayMask) (cachesim.Victim, int) {
+	slice := l.SliceOf(pa)
+	v := l.slices[slice].Insert(l.line(pa), dirty, mask)
+	if v.Evicted {
+		l.events[slice].Evictions++
+	}
+	return v, slice
+}
+
+// DMAInsert fills pa through the DDIO path: allocation is confined to the
+// DDIO ways (2 of 20 by default — the 10 % limit of §5.2/§8). The inserted
+// line is dirty from the cache's point of view (DMA wrote fresh data).
+func (l *SlicedLLC) DMAInsert(pa uint64) (cachesim.Victim, int) {
+	slice := l.SliceOf(pa)
+	v := l.slices[slice].Insert(l.line(pa), true, l.ddioMask)
+	l.events[slice].DDIOFills++
+	if v.Evicted {
+		l.events[slice].Evictions++
+	}
+	return v, slice
+}
+
+// DDIOWayMask exposes the way mask DMA fills are confined to.
+func (l *SlicedLLC) DDIOWayMask() cachesim.WayMask { return l.ddioMask }
+
+// SetDDIOWays reconfigures the number of ways DMA may allocate into; used
+// by the DDIO-budget ablation.
+func (l *SlicedLLC) SetDDIOWays(ways int) {
+	total := l.slices[0].Ways()
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > total {
+		ways = total
+	}
+	l.ddioMask = cachesim.MaskOfWayRange(total-ways, total)
+}
+
+// Invalidate removes pa from its slice (clflush reaching the LLC level).
+func (l *SlicedLLC) Invalidate(pa uint64) (present, dirty bool) {
+	return l.slices[l.SliceOf(pa)].Invalidate(l.line(pa))
+}
+
+// FlushAll empties every slice.
+func (l *SlicedLLC) FlushAll() {
+	for _, s := range l.slices {
+		s.FlushAll()
+	}
+}
+
+// Events returns a copy of the CBo counters for one slice.
+func (l *SlicedLLC) Events(slice int) CBoEvents { return l.events[slice] }
+
+// AllEvents returns a copy of every slice's counters.
+func (l *SlicedLLC) AllEvents() []CBoEvents {
+	out := make([]CBoEvents, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// ResetEvents zeroes all CBo counters (writing the CBo control MSRs).
+func (l *SlicedLLC) ResetEvents() {
+	for i := range l.events {
+		l.events[i] = CBoEvents{}
+	}
+}
+
+// SliceCache exposes the underlying cache of one slice for inspection.
+func (l *SlicedLLC) SliceCache(i int) *cachesim.Cache { return l.slices[i] }
+
+// SetPolicy switches every slice's replacement policy (LRU/BIP/LIP —
+// modern parts use adaptive insertion, §2).
+func (l *SlicedLLC) SetPolicy(p cachesim.Policy) error {
+	for _, s := range l.slices {
+		if err := s.SetPolicy(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Occupancy returns the number of valid lines per slice — the slice
+// imbalance measure discussed in §8.
+func (l *SlicedLLC) Occupancy() []int {
+	out := make([]int, len(l.slices))
+	for i, s := range l.slices {
+		out[i] = s.Len()
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package llc
+
+import (
+	"testing"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cachesim"
+	"sliceaware/internal/chash"
+)
+
+func newHaswellLLC(t *testing.T) *SlicedLLC {
+	t.Helper()
+	l, err := New(arch.HaswellE52667v3(), chash.Haswell8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewRejectsMismatchedHash(t *testing.T) {
+	if _, err := New(arch.HaswellE52667v3(), chash.Sandy2()); err == nil {
+		t.Error("2-slice hash accepted for 8-slice profile")
+	}
+}
+
+func TestLookupRoutesToHashedSlice(t *testing.T) {
+	l := newHaswellLLC(t)
+	pa := uint64(1 << 30)
+	want := l.Hash().Slice(pa)
+	hit, slice := l.Lookup(pa, false)
+	if hit {
+		t.Error("hit in empty LLC")
+	}
+	if slice != want {
+		t.Errorf("lookup went to slice %d, hash says %d", slice, want)
+	}
+	ev := l.Events(slice)
+	if ev.Lookups != 1 || ev.Misses != 1 {
+		t.Errorf("CBo events = %+v", ev)
+	}
+	// Other slices must not have seen the probe.
+	for s := 0; s < l.Slices(); s++ {
+		if s == slice {
+			continue
+		}
+		if l.Events(s).Lookups != 0 {
+			t.Errorf("slice %d logged a stray lookup", s)
+		}
+	}
+}
+
+func TestInsertThenHit(t *testing.T) {
+	l := newHaswellLLC(t)
+	pa := uint64(0x4240)
+	_, slice := l.Insert(pa, false, cachesim.AllWays)
+	hit, s2 := l.Lookup(pa, false)
+	if !hit || s2 != slice {
+		t.Errorf("hit=%v slice=%d after insert into %d", hit, s2, slice)
+	}
+	if !l.Contains(pa) {
+		t.Error("Contains disagrees")
+	}
+	if l.Events(slice).Misses != 0 {
+		t.Error("hit logged as miss")
+	}
+}
+
+func TestDMAInsertConfinedToDDIOWays(t *testing.T) {
+	p := arch.HaswellE52667v3()
+	l, err := New(p, chash.Haswell8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find many addresses in the same slice and same set; DMA-insert more
+	// than DDIOWays of them and confirm occupancy in that set never grows
+	// beyond the DDIO budget.
+	target := l.Hash().Slice(0)
+	setSize := uint64(p.LLCSlice.Sets() * 64)
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < p.DDIOWays+6; a += setSize {
+		if l.Hash().Slice(a) == target {
+			addrs = append(addrs, a)
+		}
+	}
+	for _, a := range addrs {
+		l.DMAInsert(a)
+	}
+	live := 0
+	for _, a := range addrs {
+		if l.Contains(a) {
+			live++
+		}
+	}
+	if live != p.DDIOWays {
+		t.Errorf("%d DMA lines survive in one set, want %d (DDIO limit)", live, p.DDIOWays)
+	}
+	if got := l.Events(target).DDIOFills; got != uint64(len(addrs)) {
+		t.Errorf("DDIOFills = %d, want %d", got, len(addrs))
+	}
+}
+
+func TestSetDDIOWaysClamps(t *testing.T) {
+	l := newHaswellLLC(t)
+	l.SetDDIOWays(0)
+	if got := countBits(uint64(l.DDIOWayMask())); got != 1 {
+		t.Errorf("clamped-low mask has %d ways, want 1", got)
+	}
+	l.SetDDIOWays(100)
+	if got := countBits(uint64(l.DDIOWayMask())); got != 20 {
+		t.Errorf("clamped-high mask has %d ways, want 20", got)
+	}
+	l.SetDDIOWays(4)
+	if got := countBits(uint64(l.DDIOWayMask())); got != 4 {
+		t.Errorf("mask has %d ways, want 4", got)
+	}
+}
+
+func countBits(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestInvalidateAndFlushAll(t *testing.T) {
+	l := newHaswellLLC(t)
+	pa := uint64(0x10040)
+	l.Insert(pa, true, cachesim.AllWays)
+	present, dirty := l.Invalidate(pa)
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v,%v", present, dirty)
+	}
+	l.Insert(pa, false, cachesim.AllWays)
+	l.FlushAll()
+	if l.Contains(pa) {
+		t.Error("line survived FlushAll")
+	}
+}
+
+func TestOccupancyAndEventsReset(t *testing.T) {
+	l := newHaswellLLC(t)
+	for i := 0; i < 100; i++ {
+		l.Insert(uint64(i*64), false, cachesim.AllWays)
+	}
+	total := 0
+	for _, n := range l.Occupancy() {
+		total += n
+	}
+	if total != 100 {
+		t.Errorf("total occupancy = %d, want 100", total)
+	}
+	l.Lookup(0, false)
+	l.ResetEvents()
+	for s, ev := range l.AllEvents() {
+		if ev != (CBoEvents{}) {
+			t.Errorf("slice %d events not reset: %+v", s, ev)
+		}
+	}
+}
+
+// The polling methodology of §2.1: repeatedly accessing one address makes
+// exactly one slice's lookup counter stand out.
+func TestPollingSignal(t *testing.T) {
+	l := newHaswellLLC(t)
+	pa := uint64(0x2345000)
+	l.ResetEvents()
+	for i := 0; i < 1000; i++ {
+		l.Lookup(pa, false)
+	}
+	best, bestN := -1, uint64(0)
+	for s, ev := range l.AllEvents() {
+		if ev.Lookups > bestN {
+			best, bestN = s, ev.Lookups
+		}
+	}
+	if best != l.Hash().Slice(pa) || bestN != 1000 {
+		t.Errorf("polling found slice %d (%d lookups), hash says %d", best, bestN, l.Hash().Slice(pa))
+	}
+}

@@ -1,0 +1,184 @@
+// Package reveng implements the two-part reverse-engineering methodology of
+// §2.1 against the simulated processor:
+//
+//  1. Polling — identify the slice behind a physical address by configuring
+//     the CBo counters to count lookups, hammering the address with
+//     flush+load pairs, and picking the slice whose counter stands out.
+//  2. Hash construction — for 2ⁿ-slice parts the mapping is linear over
+//     GF(2), so polling pairs of addresses that differ in a single bit
+//     yields one matrix column per bit; assembling the columns reconstructs
+//     the full Complex Addressing function, which is then verified against
+//     fresh polled addresses.
+//
+// Nothing in this package consults the simulator's ground-truth hash; it
+// observes only what real software can observe (loads, clflush, counters).
+package reveng
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sliceaware/internal/chash"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/uncore"
+)
+
+// DefaultPolls is how many flush+load rounds identify one address's slice.
+// The paper polls "several times"; a few dozen is ample against counter
+// noise from concurrent traffic.
+const DefaultPolls = 32
+
+// Prober polls physical addresses and reports their slices.
+type Prober struct {
+	core  *cpusim.Core
+	mon   *uncore.Monitor
+	polls int
+}
+
+// NewProber builds a prober that issues loads from the given core.
+func NewProber(m *cpusim.Machine, core int) *Prober {
+	return &Prober{
+		core:  m.Core(core),
+		mon:   uncore.NewMonitor(m.LLC),
+		polls: DefaultPolls,
+	}
+}
+
+// SetPolls overrides the per-address poll count (≥1).
+func (p *Prober) SetPolls(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.polls = n
+}
+
+// SliceOf determines which slice serves the physical address pa by polling.
+func (p *Prober) SliceOf(pa uint64) (int, error) {
+	p.mon.Start(uncore.EventLookups)
+	for i := 0; i < p.polls; i++ {
+		// clflush forces the next load to miss the private levels and
+		// probe the LLC, where the owning slice logs a lookup.
+		p.core.FlushPhys(pa)
+		p.core.ReadPhys(pa)
+	}
+	deltas, err := p.mon.Read()
+	if err != nil {
+		return -1, err
+	}
+	p.mon.Stop()
+	idx, ok := uncore.ArgMax(deltas, 2.0)
+	if !ok {
+		return -1, fmt.Errorf("reveng: no dominant slice for %#x (deltas %v)", pa, deltas)
+	}
+	return idx, nil
+}
+
+// MapRegion polls every lineStride-th line in [base, base+size) and returns
+// the slice per line — the brute-force mapping mode that works on any part
+// with uncore counters, including non-2ⁿ Skylake dies (used for Fig 16).
+func (p *Prober) MapRegion(base uint64, size uint64, lineStride int) ([]int, error) {
+	if lineStride < 1 {
+		lineStride = 1
+	}
+	var out []int
+	for off := uint64(0); off < size; off += uint64(lineStride) * 64 {
+		s, err := p.SliceOf(base + off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RecoveredHash is the result of hash construction.
+type RecoveredHash struct {
+	Hash        *chash.XORHash
+	CoveredBits []int // address bits whose columns were measured
+	Verified    int   // number of verification addresses that matched
+	Checked     int   // number of verification addresses tried
+}
+
+// RecoverXORHash reconstructs the Complex Addressing matrix of a 2ⁿ-slice
+// part. maxBit bounds the highest physical-address bit explored (exclusive);
+// pass chash.AddressBits when the machine's memory reaches that high.
+//
+// The method exploits linearity: for a base address a and bit b,
+// slice(a) XOR slice(a ⊕ 2ᵇ) equals the matrix column for bit b, regardless
+// of a. Columns are confirmed against several bases to reject noise.
+func RecoverXORHash(p *Prober, slices int, maxBit int, rng *rand.Rand) (*RecoveredHash, error) {
+	if slices < 2 || slices&(slices-1) != 0 {
+		return nil, fmt.Errorf("reveng: XOR recovery needs 2ⁿ slices, got %d", slices)
+	}
+	if maxBit <= 6 || maxBit > 63 {
+		return nil, fmt.Errorf("reveng: maxBit %d out of range", maxBit)
+	}
+	outputs := 0
+	for v := slices; v > 1; v >>= 1 {
+		outputs++
+	}
+
+	const bases = 3
+	baseAddrs := make([]uint64, bases)
+	for i := range baseAddrs {
+		// Keep base and base^bit inside the address range for every bit.
+		baseAddrs[i] = (rng.Uint64() % (1 << uint(maxBit-1))) &^ 63
+	}
+	baseSlices := make([]int, bases)
+	for i, a := range baseAddrs {
+		s, err := p.SliceOf(a)
+		if err != nil {
+			return nil, err
+		}
+		baseSlices[i] = s
+	}
+
+	masks := make([]uint64, outputs)
+	var covered []int
+	for b := 6; b < maxBit; b++ {
+		col := -1
+		for i, a := range baseAddrs {
+			s, err := p.SliceOf(a ^ 1<<uint(b))
+			if err != nil {
+				return nil, err
+			}
+			c := s ^ baseSlices[i]
+			if col == -1 {
+				col = c
+			} else if col != c {
+				return nil, fmt.Errorf("reveng: bit %d column disagrees across bases (%d vs %d): hash is not linear", b, col, c)
+			}
+		}
+		covered = append(covered, b)
+		for o := 0; o < outputs; o++ {
+			if col>>uint(o)&1 == 1 {
+				masks[o] |= 1 << uint(b)
+			}
+		}
+	}
+
+	h, err := chash.NewXORHash(masks)
+	if err != nil {
+		return nil, fmt.Errorf("reveng: recovered degenerate hash: %w", err)
+	}
+
+	// Verification pass: fresh random addresses must poll to the slice the
+	// reconstructed function predicts.
+	res := &RecoveredHash{Hash: h, CoveredBits: covered}
+	const checks = 64
+	for i := 0; i < checks; i++ {
+		a := (rng.Uint64() % (1 << uint(maxBit))) &^ 63
+		s, err := p.SliceOf(a)
+		if err != nil {
+			return nil, err
+		}
+		res.Checked++
+		if s == h.Slice(a) {
+			res.Verified++
+		}
+	}
+	if res.Verified != res.Checked {
+		return res, fmt.Errorf("reveng: verification failed: %d/%d addresses matched", res.Verified, res.Checked)
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package reveng
+
+import (
+	"math/rand"
+	"testing"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/chash"
+	"sliceaware/internal/cpusim"
+)
+
+func newMachine(t *testing.T) *cpusim.Machine {
+	t.Helper()
+	// 512 GB of simulated DRAM so physical addresses reach every hashed
+	// bit (the paper's 128 GB machines could not flip bit 38).
+	m, err := cpusim.NewMachineWithHashAndMemory(arch.HaswellE52667v3(), chash.Haswell8(), 512<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProberFindsSlices(t *testing.T) {
+	m := newMachine(t)
+	p := NewProber(m, 0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		pa := (rng.Uint64() % (1 << 36)) &^ 63
+		got, err := p.SliceOf(pa)
+		if err != nil {
+			t.Fatalf("SliceOf(%#x): %v", pa, err)
+		}
+		if want := m.LLC.Hash().Slice(pa); got != want {
+			t.Errorf("SliceOf(%#x) = %d, want %d", pa, got, want)
+		}
+	}
+}
+
+func TestProberWorksUnderBackgroundNoise(t *testing.T) {
+	m := newMachine(t)
+	// A noisy neighbour hammers the LLC from another core while we poll.
+	noisy := m.Core(5)
+	go func() {}() // the model is single-threaded; interleave manually below
+	p := NewProber(m, 0)
+	p.SetPolls(64)
+	pa := uint64(0x1234000)
+	// Interleave noise with polling by hand: pre-charge counters with a
+	// noise burst, then poll; ArgMax dominance must still pick through it.
+	for i := 0; i < 500; i++ {
+		noisy.ReadPhys(uint64(i*64) + 1<<33)
+	}
+	got, err := p.SliceOf(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.LLC.Hash().Slice(pa); got != want {
+		t.Errorf("got slice %d, want %d", got, want)
+	}
+}
+
+func TestMapRegion(t *testing.T) {
+	m := newMachine(t)
+	p := NewProber(m, 2)
+	p.SetPolls(8)
+	base := uint64(1 << 30)
+	got, err := p.MapRegion(base, 64*64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("mapped %d lines, want 64", len(got))
+	}
+	for i, s := range got {
+		if want := m.LLC.Hash().Slice(base + uint64(i)*64); s != want {
+			t.Errorf("line %d: slice %d, want %d", i, s, want)
+		}
+	}
+	// Stride mode.
+	got, err = p.MapRegion(base, 64*64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Errorf("stride-4 mapped %d lines, want 16", len(got))
+	}
+}
+
+func TestRecoverXORHashMatchesGroundTruth(t *testing.T) {
+	m := newMachine(t)
+	p := NewProber(m, 0)
+	p.SetPolls(4) // noiseless simulation: few polls keep the test fast
+	rng := rand.New(rand.NewSource(11))
+	res, err := RecoverXORHash(p, 8, chash.AddressBits, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := chash.Haswell8()
+	if !res.Hash.Equal(truth) {
+		t.Errorf("recovered hash differs from ground truth\n got  %#x\n want %#x", res.Hash.Masks, truth.Masks)
+	}
+	if res.Verified != res.Checked || res.Checked == 0 {
+		t.Errorf("verification %d/%d", res.Verified, res.Checked)
+	}
+	if len(res.CoveredBits) != chash.AddressBits-6 {
+		t.Errorf("covered %d bits, want %d", len(res.CoveredBits), chash.AddressBits-6)
+	}
+}
+
+func TestRecoverRejectsBadArgs(t *testing.T) {
+	m := newMachine(t)
+	p := NewProber(m, 0)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RecoverXORHash(p, 6, 39, rng); err == nil {
+		t.Error("non-2ⁿ slice count accepted")
+	}
+	if _, err := RecoverXORHash(p, 8, 5, rng); err == nil {
+		t.Error("tiny maxBit accepted")
+	}
+	if _, err := RecoverXORHash(p, 8, 64, rng); err == nil {
+		t.Error("oversized maxBit accepted")
+	}
+}
+
+// Recovery must also detect when the hash is *not* linear (Skylake-style
+// generalized hashes) instead of silently returning garbage.
+func TestRecoverDetectsNonLinearHash(t *testing.T) {
+	prof := arch.SkylakeGold6134()
+	h, err := chash.NewGeneralizedHash(16) // 2ⁿ count but non-linear mapping
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Slices = 16
+	prof.MeshCols = 4
+	m, err := cpusim.NewMachineWithHashAndMemory(prof, h, 512<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber(m, 0)
+	p.SetPolls(4)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := RecoverXORHash(p, 16, chash.AddressBits, rng); err == nil {
+		t.Error("non-linear hash recovered without complaint")
+	}
+}

@@ -1,0 +1,223 @@
+package slicemem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SlabAllocator is a slice-aware slab allocator: fixed-size object caches
+// whose every object is homed to a chosen LLC slice — the "slab coloring"
+// application §8 suggests beyond NFV. Objects up to one line live in a
+// single line; larger objects are scatter-laid across lines of the same
+// slice (the §8 linked-line scheme), so any object's hot bytes are always
+// in the preferred slice.
+type SlabAllocator struct {
+	alloc    *Allocator
+	slice    int
+	objSize  int
+	linesPer int
+
+	free  []Object
+	grown int // total objects ever created
+	chunk int // objects added per growth
+}
+
+// Object is one slab allocation.
+type Object struct {
+	lines []uint64 // the object's lines, logical order
+	size  int
+}
+
+// Size returns the object's logical size in bytes.
+func (o Object) Size() int { return o.size }
+
+// Lines returns the object's line addresses (do not modify).
+func (o Object) Lines() []uint64 { return o.lines }
+
+// Addr translates a byte offset inside the object to a virtual address.
+func (o Object) Addr(off int) (uint64, error) {
+	if off < 0 || off >= o.size {
+		return 0, fmt.Errorf("slicemem: offset %d outside %d-byte object", off, o.size)
+	}
+	return o.lines[off/LineSize] + uint64(off%LineSize), nil
+}
+
+// NewSlabAllocator creates a slab cache of objSize-byte objects homed to
+// the given slice, pre-growing chunk objects at a time (default 64).
+func NewSlabAllocator(a *Allocator, slice, objSize, chunk int) (*SlabAllocator, error) {
+	if objSize <= 0 {
+		return nil, fmt.Errorf("slicemem: non-positive object size %d", objSize)
+	}
+	if slice < 0 || slice >= a.Slices() {
+		return nil, fmt.Errorf("slicemem: slice %d out of range", slice)
+	}
+	if chunk <= 0 {
+		chunk = 64
+	}
+	return &SlabAllocator{
+		alloc:    a,
+		slice:    slice,
+		objSize:  objSize,
+		linesPer: (objSize + LineSize - 1) / LineSize,
+		chunk:    chunk,
+	}, nil
+}
+
+// Slice returns the slab's home slice.
+func (s *SlabAllocator) Slice() int { return s.slice }
+
+// ObjectSize returns the slab's object size.
+func (s *SlabAllocator) ObjectSize() int { return s.objSize }
+
+// FreeCount returns the objects currently cached.
+func (s *SlabAllocator) FreeCount() int { return len(s.free) }
+
+// TotalObjects returns the number of objects ever created.
+func (s *SlabAllocator) TotalObjects() int { return s.grown }
+
+// Get returns one object, growing the slab if the free list is empty.
+func (s *SlabAllocator) Get() (Object, error) {
+	if len(s.free) == 0 {
+		if err := s.grow(); err != nil {
+			return Object{}, err
+		}
+	}
+	o := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return o, nil
+}
+
+// Put returns an object to the slab. The object must have come from this
+// slab (checked by shape).
+func (s *SlabAllocator) Put(o Object) error {
+	if o.size != s.objSize || len(o.lines) != s.linesPer {
+		return fmt.Errorf("slicemem: object of %d bytes/%d lines returned to %d-byte slab", o.size, len(o.lines), s.objSize)
+	}
+	s.free = append(s.free, o)
+	return nil
+}
+
+func (s *SlabAllocator) grow() error {
+	region, err := s.alloc.AllocLines(s.slice, s.chunk*s.linesPer)
+	if err != nil {
+		return err
+	}
+	lines := region.Lines()
+	for i := 0; i < s.chunk; i++ {
+		obj := Object{
+			lines: lines[i*s.linesPer : (i+1)*s.linesPer],
+			size:  s.objSize,
+		}
+		s.free = append(s.free, obj)
+		s.grown++
+	}
+	return nil
+}
+
+// PageColorAllocator is the classic page-coloring allocator the paper's
+// related work (§9) discusses: it selects 4 kB pages whose *set-index
+// color* (physical address bits above the page offset that feed the cache
+// index) matches a requested color. On pre-Sandy-Bridge parts this
+// partitioned the LLC; under Complex Addressing the lines of one page
+// still spread over every slice, which is exactly why the paper's
+// slice-aware scheme exists. The type is provided so experiments can show
+// that failure directly.
+type PageColorAllocator struct {
+	alloc  *Allocator
+	colors int
+	// freePages[color] holds 4 kB-aligned VAs of banked pages.
+	freePages map[int][]uint64
+}
+
+// PageSize used by the coloring allocator.
+const ColorPageSize = 4096
+
+// NewPageColorAllocator creates an allocator over the given number of page
+// colors (a power of two; classic setups use LLC sets × line / page size).
+func NewPageColorAllocator(a *Allocator, colors int) (*PageColorAllocator, error) {
+	if colors <= 0 || colors&(colors-1) != 0 {
+		return nil, fmt.Errorf("slicemem: colors must be a positive power of two, got %d", colors)
+	}
+	return &PageColorAllocator{
+		alloc:     a,
+		colors:    colors,
+		freePages: make(map[int][]uint64),
+	}, nil
+}
+
+// Colors returns the number of page colors.
+func (p *PageColorAllocator) Colors() int { return p.colors }
+
+// colorOf computes a physical page's color from the bits directly above
+// the page offset.
+func (p *PageColorAllocator) colorOf(pa uint64) int {
+	return int(pa / ColorPageSize % uint64(p.colors))
+}
+
+// AllocPages returns n 4 kB pages of the requested color.
+func (p *PageColorAllocator) AllocPages(color, n int) ([]uint64, error) {
+	if color < 0 || color >= p.colors {
+		return nil, fmt.Errorf("slicemem: color %d out of range 0..%d", color, p.colors-1)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("slicemem: non-positive page count %d", n)
+	}
+	var out []uint64
+	for len(out) < n {
+		if pages := p.freePages[color]; len(pages) > 0 {
+			out = append(out, pages[len(pages)-1])
+			p.freePages[color] = pages[:len(pages)-1]
+			continue
+		}
+		// Scan a fresh page, banking it if the color does not match.
+		region, err := p.alloc.AllocContiguousAligned(ColorPageSize, ColorPageSize)
+		if err != nil {
+			return nil, err
+		}
+		va := region.Line(0)
+		pa, err := p.alloc.SliceOfPA(va)
+		if err != nil {
+			return nil, err
+		}
+		c := p.colorOf(pa)
+		if c == color {
+			out = append(out, va)
+		} else {
+			p.freePages[c] = append(p.freePages[c], va)
+		}
+	}
+	return out, nil
+}
+
+// SliceSpread reports how many distinct LLC slices the lines of the given
+// pages map to — the §9 point: under Complex Addressing even a
+// single-color page set spreads over every slice.
+func (p *PageColorAllocator) SliceSpread(pages []uint64) (int, error) {
+	seen := map[int]bool{}
+	for _, page := range pages {
+		for off := uint64(0); off < ColorPageSize; off += LineSize {
+			s, err := p.alloc.SliceOf(page + off)
+			if err != nil {
+				return 0, err
+			}
+			seen[s] = true
+		}
+	}
+	return len(seen), nil
+}
+
+// SliceOfPA translates a VA to its physical address and returns the PA's
+// page-color input (exposed for the coloring allocator).
+func (a *Allocator) SliceOfPA(va uint64) (uint64, error) {
+	return a.space.Translate(va)
+}
+
+// SortedColors lists colors with banked pages, for diagnostics.
+func (p *PageColorAllocator) SortedColors() []int {
+	out := make([]int, 0, len(p.freePages))
+	for c := range p.freePages {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package slicemem
+
+import (
+	"testing"
+
+	"sliceaware/internal/chash"
+	"sliceaware/internal/phys"
+)
+
+func TestSlabAllocator(t *testing.T) {
+	a := newAlloc(t)
+	s, err := NewSlabAllocator(a, 3, 48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Slice() != 3 || s.ObjectSize() != 48 {
+		t.Error("accessors broken")
+	}
+	o, err := s.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 48 || len(o.Lines()) != 1 {
+		t.Fatalf("object shape: %d bytes, %d lines", o.Size(), len(o.Lines()))
+	}
+	if got, _ := a.SliceOf(o.Lines()[0]); got != 3 {
+		t.Errorf("object on slice %d, want 3", got)
+	}
+	if s.TotalObjects() != 8 || s.FreeCount() != 7 {
+		t.Errorf("grown/free = %d/%d", s.TotalObjects(), s.FreeCount())
+	}
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeCount() != 8 {
+		t.Error("Put lost the object")
+	}
+}
+
+func TestSlabLargeObjectsScatter(t *testing.T) {
+	a := newAlloc(t)
+	s, err := NewSlabAllocator(a, 5, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Lines()) != 4 {
+		t.Fatalf("200 B object spans %d lines, want 4", len(o.Lines()))
+	}
+	// Every line of the scattered object is on the home slice (§8).
+	for _, va := range o.Lines() {
+		if got, _ := a.SliceOf(va); got != 5 {
+			t.Fatalf("object line on slice %d, want 5", got)
+		}
+	}
+	addr, err := o.Addr(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := o.Lines()[2] + 22; addr != want {
+		t.Errorf("Addr(150) = %#x, want %#x", addr, want)
+	}
+	if _, err := o.Addr(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := o.Addr(200); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestSlabGrowsOnDemand(t *testing.T) {
+	a := newAlloc(t)
+	s, err := NewSlabAllocator(a, 0, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		o, err := s.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[o.Lines()[0]] {
+			t.Fatal("slab handed out the same object twice")
+		}
+		seen[o.Lines()[0]] = true
+	}
+	if s.TotalObjects() != 10 {
+		t.Errorf("TotalObjects = %d, want 10 (5 growths of 2)", s.TotalObjects())
+	}
+}
+
+func TestSlabValidation(t *testing.T) {
+	a := newAlloc(t)
+	if _, err := NewSlabAllocator(a, 0, 0, 4); err == nil {
+		t.Error("zero object size accepted")
+	}
+	if _, err := NewSlabAllocator(a, 99, 64, 4); err == nil {
+		t.Error("bad slice accepted")
+	}
+	s, _ := NewSlabAllocator(a, 0, 64, 4)
+	if err := s.Put(Object{size: 128, lines: make([]uint64, 2)}); err == nil {
+		t.Error("foreign object accepted by Put")
+	}
+}
+
+func TestAllocContiguousAligned(t *testing.T) {
+	a := newAlloc(t)
+	// Misalign the cursor first.
+	if _, err := a.AllocContiguous(192); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.AllocContiguousAligned(8192, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Line(0)%4096 != 0 {
+		t.Errorf("start %#x not page aligned", r.Line(0))
+	}
+	if r.Len() != 128 {
+		t.Errorf("lines = %d, want 128", r.Len())
+	}
+	if _, err := a.AllocContiguousAligned(64, 100); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+	if _, err := a.AllocContiguousAligned(0, 4096); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestPageColoringFailsUnderComplexAddressing(t *testing.T) {
+	a := newAlloc(t)
+	pc, err := NewPageColorAllocator(a, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Colors() != 32 {
+		t.Error("Colors broken")
+	}
+	pages, err := pc.AllocPages(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 8 {
+		t.Fatalf("%d pages", len(pages))
+	}
+	for _, va := range pages {
+		if va%ColorPageSize != 0 {
+			t.Fatalf("page %#x not aligned", va)
+		}
+		pa, err := a.SliceOfPA(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(pa/ColorPageSize%32) != 5 {
+			t.Fatalf("page %#x has wrong color", va)
+		}
+	}
+	// The §9 point: same-color pages still spread their lines over every
+	// LLC slice, so page coloring cannot partition a hashed LLC.
+	spread, err := pc.SliceSpread(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread != 8 {
+		t.Errorf("single-color pages cover %d slices; Complex Addressing should spread them over all 8", spread)
+	}
+	if len(pc.SortedColors()) == 0 {
+		t.Error("no banked colors after scanning")
+	}
+}
+
+func TestPageColorValidation(t *testing.T) {
+	a := newAlloc(t)
+	if _, err := NewPageColorAllocator(a, 0); err == nil {
+		t.Error("zero colors accepted")
+	}
+	if _, err := NewPageColorAllocator(a, 3); err == nil {
+		t.Error("non-power-of-two colors accepted")
+	}
+	pc, _ := NewPageColorAllocator(a, 4)
+	if _, err := pc.AllocPages(9, 1); err == nil {
+		t.Error("bad color accepted")
+	}
+	if _, err := pc.AllocPages(0, 0); err == nil {
+		t.Error("zero pages accepted")
+	}
+}
+
+func TestPageColorReusesBankedPages(t *testing.T) {
+	a, err := New(phys.NewSpace(16<<30), chash.Haswell8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPageColorAllocator(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocating color 0 banks colors 1..7; a follow-up allocation of
+	// color 3 must not scan fresh memory (MappedBytes unchanged).
+	if _, err := pc.AllocPages(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	mapped := a.MappedBytes()
+	if _, err := pc.AllocPages(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.MappedBytes() != mapped {
+		t.Error("banked pages were not reused")
+	}
+}
