@@ -6,6 +6,15 @@
 //
 //	nfvbench [-chain fwd|stateful] [-steering rss|fdir] [-gbps 100]
 //	         [-pps 0] [-packets 20000] [-cachedirector] [-runs 3]
+//
+// Chaos testing: the -fault-* flags arm the internal/faults injector
+// against the pipeline (deterministically, from -fault-seed), and
+// -mispredict/-watchdog deploy a deliberately wrong slice-hash profile
+// and CacheDirector's degraded-mode watchdog against it:
+//
+//	nfvbench -cachedirector -fault-drop 0.01 -fault-corrupt 0.005 \
+//	         -fault-slowdown 2 -fault-seed 7
+//	nfvbench -cachedirector -mispredict 1 -watchdog
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"sliceaware/internal/cachedirector"
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
 	"sliceaware/internal/netsim"
 	"sliceaware/internal/nfv"
 	"sliceaware/internal/stats"
@@ -33,6 +43,15 @@ func main() {
 	withCD := flag.Bool("cachedirector", false, "attach CacheDirector")
 	runs := flag.Int("runs", 3, "back-to-back runs (latencies pooled)")
 	pktSize := flag.Int("size", 0, "fixed frame size; 0 = campus mix")
+	faultDrop := flag.Float64("fault-drop", 0, "wire-loss probability per frame")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "FCS-corruption probability per frame")
+	faultRing := flag.Float64("fault-ring", 0, "injected ring-overflow probability per frame")
+	faultPool := flag.Float64("fault-pool", 0, "injected mempool-exhaustion probability per Get")
+	faultSlowdown := flag.Float64("fault-slowdown", 1, "service-time multiplier when a slowdown fires (≥1)")
+	faultSlowdownP := flag.Float64("fault-slowdown-p", 0.5, "per-packet probability of the slowdown (with -fault-slowdown > 1)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed, same chaos)")
+	mispredict := flag.Float64("mispredict", 0, "fraction of lines the deployed slice-hash profile gets wrong")
+	watchdog := flag.Bool("watchdog", false, "arm CacheDirector's placement watchdog (degraded-mode fallback)")
 	flag.Parse()
 
 	steering := dpdk.RSS
@@ -50,10 +69,47 @@ func main() {
 		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: steering,
 	})
 	check(err)
+	var director *cachedirector.Director
 	if *withCD {
-		d, err := cachedirector.New(m, cachedirector.Config{})
+		cfg := cachedirector.Config{}
+		if *mispredict > 0 {
+			wrong, err := faults.NewMispredictedHash(m.LLC.Hash(), *faultSeed, *mispredict)
+			check(err)
+			cfg.Hash = wrong
+		}
+		director, err = cachedirector.New(m, cfg)
 		check(err)
-		check(d.Attach(port))
+		check(director.Attach(port))
+		if *watchdog {
+			check(director.EnableWatchdog(cachedirector.WatchdogConfig{CheckEvery: 64}))
+		}
+	} else if *mispredict > 0 || *watchdog {
+		fmt.Fprintln(os.Stderr, "nfvbench: -mispredict/-watchdog need -cachedirector")
+		os.Exit(2)
+	}
+
+	var plan faults.Plan
+	plan.Seed = *faultSeed
+	addEvent := func(kind faults.Kind, p, magnitude float64, core int) {
+		if p < 0 || p > 1 {
+			fmt.Fprintf(os.Stderr, "nfvbench: %s probability %g outside [0,1]\n", kind, p)
+			os.Exit(2)
+		}
+		if p > 0 {
+			plan.Events = append(plan.Events, faults.Event{Kind: kind, Probability: p, Magnitude: magnitude, Core: core})
+		}
+	}
+	addEvent(faults.NICDrop, *faultDrop, 0, 0)
+	addEvent(faults.NICCorrupt, *faultCorrupt, 0, 0)
+	addEvent(faults.RingOverflow, *faultRing, 0, 0)
+	addEvent(faults.MempoolExhausted, *faultPool, 0, 0)
+	if *faultSlowdown > 1 {
+		addEvent(faults.CoreSlowdown, *faultSlowdownP, *faultSlowdown, -1)
+	}
+	var injector *faults.Injector
+	if len(plan.Events) > 0 {
+		injector, err = faults.NewInjector(plan)
+		check(err)
 	}
 
 	var chain *nfv.Chain
@@ -79,12 +135,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead})
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector})
 	check(err)
 
 	var lat []float64
 	var achieved []float64
 	var dropped uint64
+	var drops dpdk.PortStats
 	for r := 0; r < *runs; r++ {
 		var gen trace.Generator
 		rng := rand.New(rand.NewSource(int64(1000 + r)))
@@ -104,6 +161,10 @@ func main() {
 		lat = append(lat, out.LatenciesNs...)
 		achieved = append(achieved, out.AchievedGbps)
 		dropped += out.Dropped
+		drops.RxDropRing += out.DropBreakdown.RxDropRing
+		drops.RxDropPool += out.DropBreakdown.RxDropPool
+		drops.RxDropWire += out.DropBreakdown.RxDropWire
+		drops.RxDropCorrupt += out.DropBreakdown.RxDropCorrupt
 		dut.Reset()
 		dut.Port().ResetStats()
 	}
@@ -118,6 +179,18 @@ func main() {
 	fmt.Printf("  DuT latency (ns): p50=%.0f p75=%.0f p90=%.0f p95=%.0f p99=%.0f mean=%.0f max=%.0f\n",
 		s.P50, s.P75, s.P90, s.P95, s.P99, s.Mean, s.Max)
 	fmt.Printf("  min loopback at this rate: %.0f ns (excluded above)\n", netsim.MinLoopbackNanos(*gbps))
+	if injector != nil {
+		c := injector.Counts()
+		fmt.Printf("  injected faults: %d (wire %d, fcs %d, ring %d, pool %d, slowed %d, truncated %d)\n",
+			c.Total(), c.NICDrops, c.NICCorrupts, c.RingOverflows, c.MempoolFails, c.SlowedPackets, c.TruncatedBursts)
+		fmt.Printf("  drop breakdown: ring %d, pool %d, wire %d, corrupt %d\n",
+			drops.RxDropRing, drops.RxDropPool, drops.RxDropWire, drops.RxDropCorrupt)
+	}
+	if director != nil && *watchdog {
+		ws := director.WatchdogStats()
+		fmt.Printf("  watchdog: mode=%s probes=%d misses=%d degradations=%d recoveries=%d\n",
+			director.Mode(), ws.Probes, ws.ProbeMisses, ws.Degradations, ws.Recoveries)
+	}
 }
 
 func check(err error) {

@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	reproduce [-scale quick|full] [-only T1,F4,F5,...] [-all]
+//	reproduce [-scale quick|full] [-seed N] [-only T1,F4,F5,...] [-all]
 //
 // Paper artifacts: T1 F4 F5 F6 F7 F8 HR F12 F13 F14 T3 F15 F16 T4 F17
 // (T3 is derived from F13+F14 and runs them if not already selected).
 // Ablations/extensions (with -all or by ID): A-DDIO A-PLACE A-STEER
-// A-MULTI A-PF S6 S8V S8M S9C.
+// A-MULTI A-PF S6 S8V S8M S9C F-FAULTS.
+//
+// -seed fixes the run-wide seed every experiment derives its randomness
+// from: two invocations with the same seed and selection print identical
+// numbers.
 package main
 
 import (
@@ -25,7 +29,10 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "sample counts: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all paper artifacts)")
 	allFlag := flag.Bool("all", false, "also run ablations and extensions (A-*, S*)")
+	seedFlag := flag.Int64("seed", 1, "run-wide seed; same seed reproduces the same numbers")
 	flag.Parse()
+
+	experiments.SetSeed(*seedFlag)
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -148,6 +155,7 @@ func main() {
 	showExt("S7H", func() (*experiments.Table, error) { _, t, err := experiments.VMIsolation(scale); return t, err })
 	showExt("S8S", func() (*experiments.Table, error) { _, t, err := experiments.SharedDataPlacement(scale); return t, err })
 	showExt("S4V", func() (*experiments.Table, error) { _, t, err := experiments.OffsetTarget(scale); return t, err })
+	showExt("F-FAULTS", func() (*experiments.Table, error) { _, t, err := experiments.FigFaults(scale); return t, err })
 
 	os.Exit(exit)
 }

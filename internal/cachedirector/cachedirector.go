@@ -18,6 +18,7 @@
 package cachedirector
 
 import (
+	"errors"
 	"fmt"
 
 	"sliceaware/internal/chash"
@@ -25,6 +26,10 @@ import (
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/interconnect"
 )
+
+// ErrInsufficientHeadroom marks a mempool whose mbufs provision less
+// headroom than the director's budget needs.
+var ErrInsufficientHeadroom = errors.New("cachedirector: pool headroom below director budget")
 
 // PrepareCycles is the per-packet driver cost of applying the pre-computed
 // headroom (one table read and a store into the descriptor path). The
@@ -54,6 +59,13 @@ type Config struct {
 	// headroom adjustment. Placement is identical; only the (small)
 	// runtime cost disappears.
 	AppSorted bool
+	// Hash overrides the slice mapping the director believes in — e.g. a
+	// Complex Addressing profile recovered on different silicon (§2.1).
+	// Placement decisions use this mapping; the LLC keeps using the
+	// machine's true hash, so a wrong profile silently misplaces lines
+	// (the failure the watchdog exists to catch). Nil uses the machine's
+	// own hash.
+	Hash chash.Hash
 }
 
 // Director carries the slice-awareness state for one machine.
@@ -74,6 +86,9 @@ type Director struct {
 	// budget reaches the preferred slice; those fall back to headroom 0.
 	misses int
 	inited int // mbufs initialized
+
+	// wd is the optional placement watchdog (nil until EnableWatchdog).
+	wd *watchdog
 }
 
 // New builds a director. Core→slice targets default to each core's primary
@@ -94,9 +109,16 @@ func New(machine *cpusim.Machine, cfg Config) (*Director, error) {
 	if cfg.TargetOffset < 0 || cfg.TargetOffset%64 != 0 {
 		return nil, fmt.Errorf("cachedirector: target offset %d must be a non-negative line multiple", cfg.TargetOffset)
 	}
+	hash := cfg.Hash
+	if hash == nil {
+		hash = machine.LLC.Hash()
+	} else if hash.Slices() != machine.LLC.Hash().Slices() {
+		return nil, fmt.Errorf("cachedirector: profile hash has %d slices, machine has %d",
+			hash.Slices(), machine.LLC.Hash().Slices())
+	}
 	d := &Director{
 		machine:   machine,
-		hash:      machine.LLC.Hash(),
+		hash:      hash,
 		cfg:       cfg,
 		coreSlice: make([]int, machine.Cores()),
 	}
@@ -138,8 +160,8 @@ func (d *Director) InitPool(pool *dpdk.Mempool) error {
 			return
 		}
 		if m.HeadroomCapacity() < d.cfg.MaxHeadroom {
-			err = fmt.Errorf("cachedirector: pool %q mbufs provision %d B headroom, need %d",
-				pool.Name(), m.HeadroomCapacity(), d.cfg.MaxHeadroom)
+			err = fmt.Errorf("%w: pool %q mbufs provision %d B, need %d",
+				ErrInsufficientHeadroom, pool.Name(), m.HeadroomCapacity(), d.cfg.MaxHeadroom)
 			return
 		}
 		var packed uint64
@@ -178,16 +200,29 @@ func (d *Director) findHeadroom(pool *dpdk.Mempool, m *dpdk.Mbuf, slice, budgetL
 
 // Prepare is the driver hook (dpdk.MbufPrepareFunc): set the mbuf's actual
 // headroom for the core that will consume queue q's packets, and charge
-// the (tiny) per-packet driver cost to that core.
+// the (tiny) per-packet driver cost to that core. While the watchdog holds
+// the director in ModeDegraded, the pre-computed table is bypassed and the
+// mbuf keeps plain DPDK's default placement.
 func (d *Director) Prepare(m *dpdk.Mbuf, queue int) {
 	lines := int(m.Udata64 >> uint(queue*4) & 0xF)
-	if err := m.SetHeadroom(lines * 64); err != nil {
+	if d.wd != nil && d.wd.mode == ModeDegraded {
+		hr := dpdk.DefaultHeadroom
+		if hr > m.HeadroomCapacity() {
+			hr = m.HeadroomCapacity()
+		}
+		_ = m.SetHeadroom(hr)
+	} else if err := m.SetHeadroom(lines * 64); err != nil {
 		// Pre-computed values are always within capacity; reaching this
 		// indicates corrupted udata64, so fall back to zero headroom.
 		_ = m.SetHeadroom(0)
 	}
 	if !d.cfg.AppSorted {
 		d.machine.Core(queue).AddCycles(PrepareCycles)
+	}
+	if d.wd != nil && d.wd.due() {
+		// Probe the placement the table intended, even while degraded:
+		// recovery needs evidence that the believed mapping works again.
+		d.probePlacement(m, queue, lines)
 	}
 }
 

@@ -1,0 +1,18 @@
+package dpdk
+
+import "errors"
+
+// Sentinel causes for RX-path packet loss. Port.LastDropCause wraps these
+// so callers can errors.Is a drop back to its source — including drops
+// manufactured by the fault-injection layer, which additionally match
+// faults.ErrInjected.
+var (
+	// ErrPoolExhausted marks an mbuf allocation failure (rte_pktmbuf_alloc
+	// returning NULL).
+	ErrPoolExhausted = errors.New("dpdk: mempool exhausted")
+	// ErrRingFull marks an RX descriptor ring with no free slot.
+	ErrRingFull = errors.New("dpdk: ring full")
+	// ErrFrameDropped marks a frame lost or rejected before buffering
+	// (wire loss or FCS failure).
+	ErrFrameDropped = errors.New("dpdk: frame dropped at NIC")
+)

@@ -8,6 +8,7 @@ package dpdk
 import (
 	"fmt"
 
+	"sliceaware/internal/faults"
 	"sliceaware/internal/phys"
 	"sliceaware/internal/trace"
 )
@@ -126,9 +127,16 @@ type Mempool struct {
 	all  []*Mbuf // every mbuf, in element-array order
 	free []*Mbuf // LIFO free list, like DPDK's per-lcore cache
 
+	faults *faults.Injector
+
 	gets, puts uint64
 	failures   uint64
 }
+
+// SetFaultInjector arms the pool's allocation path: while a
+// MempoolExhausted event is active, Get fails as if another consumer held
+// the pool's headroom. A nil injector disarms it.
+func (p *Mempool) SetFaultInjector(fi *faults.Injector) { p.faults = fi }
 
 // MempoolConfig sizes a pool.
 type MempoolConfig struct {
@@ -214,7 +222,7 @@ func (p *Mempool) Mapping() *phys.Mapping { return p.mapping }
 // semantics).
 func (p *Mempool) Get() *Mbuf {
 	n := len(p.free)
-	if n == 0 {
+	if n == 0 || p.faults.Fire(faults.MempoolExhausted) {
 		p.failures++
 		return nil
 	}

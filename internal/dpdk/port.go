@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sliceaware/internal/cpusim"
+	"sliceaware/internal/faults"
 	"sliceaware/internal/trace"
 )
 
@@ -41,10 +42,17 @@ type MbufPrepareFunc func(m *Mbuf, queue int)
 type PortStats struct {
 	RxPackets uint64
 	RxBytes   uint64
-	RxDropped uint64 // RX ring full or mempool exhausted
+	RxDropped uint64 // every lost RX packet (sum of the breakdown below)
 	TxPackets uint64
 	TxBytes   uint64
 	Segments  uint64 // chained segments created for oversized packets
+
+	// Drop-cause breakdown of RxDropped, mirroring a real NIC's extended
+	// statistics (rx_missed, rx_nombuf, rx_crc_errors...).
+	RxDropRing    uint64 // RX ring had no free descriptor
+	RxDropPool    uint64 // mempool could not supply an mbuf
+	RxDropWire    uint64 // injected wire loss before the NIC
+	RxDropCorrupt uint64 // FCS/CRC rejection at RX
 }
 
 // Port is one NIC port bound to the userspace driver: per-queue mempools
@@ -62,6 +70,9 @@ type Port struct {
 
 	fdirTable map[uint64]int // FlowDirector: flowID → queue
 	fdirNext  int
+
+	faults   *faults.Injector
+	lastDrop error
 
 	stats PortStats
 }
@@ -133,6 +144,22 @@ func (p *Port) Steering() Steering { return p.steering }
 // SetMbufPrepare installs the driver hook (CacheDirector's entry point).
 func (p *Port) SetMbufPrepare(f MbufPrepareFunc) { p.prepare = f }
 
+// SetFaultInjector arms the port's RX path (wire drop, corruption, ring
+// overflow, burst truncation) and every queue's mempool against the
+// injector's plan. A nil injector disarms everything.
+func (p *Port) SetFaultInjector(fi *faults.Injector) {
+	p.faults = fi
+	for _, pool := range p.pools {
+		pool.SetFaultInjector(fi)
+	}
+}
+
+// LastDropCause reports why the most recent RX drop happened, as a
+// sentinel-wrapping error (ErrPoolExhausted, ErrRingFull, ErrFrameDropped;
+// injected causes additionally match faults.ErrInjected). Nil when the
+// port has never dropped.
+func (p *Port) LastDropCause() error { return p.lastDrop }
+
 // Stats returns a copy of the port counters.
 func (p *Port) Stats() PortStats { return p.stats }
 
@@ -169,14 +196,25 @@ func rssHash(pkt trace.Packet) uint64 {
 
 // Deliver lands one packet on the port: steer to a queue, allocate mbuf(s),
 // run the prepare hook, DMA the bytes (DDIO into the LLC), and enqueue on
-// the RX ring. Returns the queue used and whether the packet was accepted.
+// the RX ring. Returns the queue used and whether the packet was accepted
+// (queue is -1 when the frame never reached queue assignment).
 func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
+	// Wire loss and FCS rejection happen before steering: a frame the NIC
+	// never accepts installs no FlowDirector rule and allocates no mbuf.
+	if p.faults.Fire(faults.NICDrop) {
+		p.drop(&p.stats.RxDropWire, errWireDrop)
+		return -1, false
+	}
+	if p.faults.Fire(faults.NICCorrupt) {
+		p.drop(&p.stats.RxDropCorrupt, errCorruptDrop)
+		return -1, false
+	}
 	q := p.SteerQueue(pkt)
 	pool := p.pools[q]
 
 	head := pool.Get()
 	if head == nil {
-		p.stats.RxDropped++
+		p.drop(&p.stats.RxDropPool, ErrPoolExhausted)
 		return q, false
 	}
 	if p.prepare != nil {
@@ -194,7 +232,7 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		next := pool.Get()
 		if next == nil {
 			pool.Put(head)
-			p.stats.RxDropped++
+			p.drop(&p.stats.RxDropPool, ErrPoolExhausted)
 			return q, false
 		}
 		// Continuation segments don't need slice-aware placement; they
@@ -214,9 +252,14 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		p.machine.DMAWrite(s.DataPhys(), s.dataLen)
 	}
 
+	if p.faults.Fire(faults.RingOverflow) {
+		pool.Put(head)
+		p.drop(&p.stats.RxDropRing, errRingInjected)
+		return q, false
+	}
 	if !p.rx[q].Enqueue(head) {
 		pool.Put(head)
-		p.stats.RxDropped++
+		p.drop(&p.stats.RxDropRing, ErrRingFull)
 		return q, false
 	}
 	p.stats.RxPackets++
@@ -224,9 +267,23 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 	return q, true
 }
 
+// drop books one RX loss against the total and its cause bucket.
+func (p *Port) drop(bucket *uint64, cause error) {
+	p.stats.RxDropped++
+	*bucket++
+	p.lastDrop = cause
+}
+
+// Pre-wrapped drop causes, so the hot path doesn't allocate per loss.
+var (
+	errWireDrop     = fmt.Errorf("%w: %w", ErrFrameDropped, faults.ErrInjected)
+	errCorruptDrop  = fmt.Errorf("%w: FCS check failed: %w", ErrFrameDropped, faults.ErrInjected)
+	errRingInjected = fmt.Errorf("%w: %w", ErrRingFull, faults.ErrInjected)
+)
+
 // RxBurst polls up to max packets from queue q (PMD receive).
 func (p *Port) RxBurst(q, max int) []*Mbuf {
-	return p.rx[q].DequeueBurst(max)
+	return p.rx[q].DequeueBurst(p.faults.TruncateBurst(max))
 }
 
 // RxQueueLen reports the RX ring occupancy of queue q.

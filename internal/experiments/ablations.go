@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachedirector"
@@ -39,7 +38,7 @@ func AblationDDIOWays(scale Scale) ([]DDIOWaysPoint, *Table, error) {
 			return nil, nil, err
 		}
 		setup.machine.LLC.SetDDIOWays(ways)
-		g, err := trace.NewCampusMix(rand.New(rand.NewSource(77)), 4096)
+		g, err := trace.NewCampusMix(rng(77), 4096)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -123,7 +122,7 @@ func AblationPlacement(scale Scale) ([]PlacementPoint, *Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		g, err := trace.NewCampusMix(rand.New(rand.NewSource(78)), 4096)
+		g, err := trace.NewCampusMix(rng(78), 4096)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -167,7 +166,7 @@ func AblationSteering(scale Scale) ([]SteeringPoint, *Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		g, err := trace.NewCampusMix(rand.New(rand.NewSource(79)), 4096)
+		g, err := trace.NewCampusMix(rng(79), 4096)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -240,7 +239,7 @@ func AblationReplacement(scale Scale) ([]ReplacementPoint, *Table, error) {
 		if err := setup.machine.LLC.SetPolicy(policy); err != nil {
 			return nil, nil, err
 		}
-		g, err := trace.NewCampusMix(rand.New(rand.NewSource(81)), 4096)
+		g, err := trace.NewCampusMix(rng(81), 4096)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -297,7 +296,7 @@ func AblationMultiSlice(scale Scale) ([]MultiSlicePoint, *Table, error) {
 				core.Read(va)
 			}
 		}
-		rng := rand.New(rand.NewSource(5))
+		rng := rng(5)
 		start := core.Cycles()
 		for i := 0; i < ops; i++ {
 			core.Read(lines[rng.Intn(len(lines))])

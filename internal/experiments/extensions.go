@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachedirector"
@@ -147,7 +146,7 @@ func SkylakeCacheDirector(scale Scale) (*SkylakeCDResult, *Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			g, err := trace.NewCampusMix(rand.New(rand.NewSource(90)), 4096)
+			g, err := trace.NewCampusMix(rng(90), 4096)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -208,7 +207,7 @@ func LargeValueKVS(scale Scale) ([]ValueSizePoint, *Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			gen, err := zipf.NewZipf(rand.New(rand.NewSource(21)), keys, 0.99)
+			gen, err := zipf.NewZipf(rng(21), keys, 0.99)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -261,7 +260,7 @@ func HotMigration(scale Scale) (*MigrationResultRow, *Table, error) {
 	store.EnableHotTracking()
 
 	shifted := func(seed int64) (zipf.Generator, error) {
-		g, err := zipf.NewZipf(rand.New(rand.NewSource(seed)), 4096, 0.99)
+		g, err := zipf.NewZipf(rng(seed), 4096, 0.99)
 		if err != nil {
 			return nil, err
 		}
@@ -361,7 +360,7 @@ func OffsetTarget(scale Scale) ([]OffsetTargetRow, *Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		g, err := trace.NewFixedSize(rand.New(rand.NewSource(91)), 512, 4096)
+		g, err := trace.NewFixedSize(rng(91), 512, 4096)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -441,8 +440,8 @@ func SharedDataPlacement(scale Scale) ([]SharedPlacementRow, *Table, error) {
 		for _, va := range lines {
 			b.Read(va)
 		}
-		rngA := rand.New(rand.NewSource(41))
-		rngB := rand.New(rand.NewSource(42))
+		rngA := rng(41)
+		rngB := rng(42)
 		startA, startB := a.Cycles(), b.Cycles()
 		for i := 0; i < ops; i++ {
 			a.Read(lines[rngA.Intn(len(lines))])

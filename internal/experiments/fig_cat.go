@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cat"
@@ -55,7 +54,7 @@ func Figure17(scale Scale) (*IsolationResult, *Table, error) {
 				return nil, nil, err
 			}
 			e.Warmup()
-			out, err := e.Run(ops, noisePerOp, write, rand.New(rand.NewSource(17)))
+			out, err := e.Run(ops, noisePerOp, write, rng(17))
 			if err != nil {
 				return nil, nil, err
 			}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"sliceaware/internal/arch"
@@ -31,7 +30,7 @@ func Figure4(scale Scale) (*HashRecoveryResult, *Table, error) {
 	}
 	p := reveng.NewProber(m, 0)
 	p.SetPolls(scale.pick(4, reveng.DefaultPolls))
-	rec, err := reveng.RecoverXORHash(p, 8, chash.AddressBits, rand.New(rand.NewSource(4)))
+	rec, err := reveng.RecoverXORHash(p, 8, chash.AddressBits, rng(4))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachedirector"
@@ -108,7 +107,7 @@ func Figure8(scale Scale) (*KVSResult, *Table, error) {
 }
 
 func newKeyGen(skewed bool, keys uint64) (zipf.Generator, error) {
-	rng := rand.New(rand.NewSource(2024))
+	rng := rng(2024)
 	if skewed {
 		return zipf.NewZipf(rng, keys, 0.99)
 	}

@@ -169,7 +169,7 @@ func Figure6(scale Scale) (*SpeedupResult, *Table, error) {
 				core.Read(va)
 			}
 		}
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng(seed)
 		start := core.Cycles()
 		for i := 0; i < ops; i++ {
 			va := lines[rng.Intn(len(lines))]
@@ -329,7 +329,7 @@ func figure7MOPS(m *cpusim.Machine, arrays [][]uint64, ops int, write bool, seed
 	rngs := make([]*rand.Rand, len(arrays))
 	starts := make([]uint64, len(arrays))
 	for c := range arrays {
-		rngs[c] = rand.New(rand.NewSource(seed + int64(c)))
+		rngs[c] = rng(seed + int64(c))
 		starts[c] = m.Core(c).Cycles()
 	}
 	for i := 0; i < ops; i++ {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachedirector"
@@ -202,7 +201,7 @@ func Figure12(scale Scale) (*NFVLatencyResult, *Table, error) {
 	count := scale.pick(1000, 5000)
 	res, err := latencyCompare(ForwardingChain, dpdk.RSS, runs, count, 0, 1000,
 		func(seed int64) (trace.Generator, error) {
-			return trace.NewFixedSize(rand.New(rand.NewSource(seed)), 64, 1024)
+			return trace.NewFixedSize(rng(seed), 64, 1024)
 		})
 	if err != nil {
 		return nil, nil, err
@@ -219,7 +218,7 @@ func Figure13(scale Scale) (*NFVLatencyResult, *Table, error) {
 	count := scale.pick(15000, 50000)
 	res, err := latencyCompare(ForwardingChain, dpdk.RSS, runs, count, 100, 0,
 		func(seed int64) (trace.Generator, error) {
-			return trace.NewCampusMix(rand.New(rand.NewSource(seed)), 4096)
+			return trace.NewCampusMix(rng(seed), 4096)
 		})
 	if err != nil {
 		return nil, nil, err
@@ -237,7 +236,7 @@ func Figure14(scale Scale) (*NFVLatencyResult, *Table, error) {
 	count := scale.pick(15000, 50000)
 	res, err := latencyCompare(StatefulChain, dpdk.FlowDirector, runs, count, 100, 0,
 		func(seed int64) (trace.Generator, error) {
-			return trace.NewCampusMix(rand.New(rand.NewSource(seed)), 4096)
+			return trace.NewCampusMix(rng(seed), 4096)
 		})
 	if err != nil {
 		return nil, nil, err
@@ -367,7 +366,7 @@ func Figure15(scale Scale) (*KneeResult, *Table, error) {
 			return nil, nil, err
 		}
 		for i, rate := range rates {
-			g, err := trace.NewCampusMix(rand.New(rand.NewSource(int64(300+i))), 4096)
+			g, err := trace.NewCampusMix(rng(int64(300+i)), 4096)
 			if err != nil {
 				return nil, nil, err
 			}

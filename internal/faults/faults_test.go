@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"testing"
+
+	"sliceaware/internal/chash"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty", Plan{}, true},
+		{"drop", Plan{Events: []Event{{Kind: NICDrop, Probability: 0.5}}}, true},
+		{"bad kind", Plan{Events: []Event{{Kind: numKinds, Probability: 0.5}}}, false},
+		{"negative kind", Plan{Events: []Event{{Kind: -1, Probability: 0.5}}}, false},
+		{"probability above one", Plan{Events: []Event{{Kind: NICDrop, Probability: 1.5}}}, false},
+		{"negative probability", Plan{Events: []Event{{Kind: NICDrop, Probability: -0.1}}}, false},
+		{"empty window", Plan{Events: []Event{{Kind: NICDrop, Probability: 1, From: 10, To: 10}}}, false},
+		{"inverted window", Plan{Events: []Event{{Kind: NICDrop, Probability: 1, From: 10, To: 5}}}, false},
+		{"open window", Plan{Events: []Event{{Kind: NICDrop, Probability: 1, From: 10}}}, true},
+		{"slowdown below one", Plan{Events: []Event{{Kind: CoreSlowdown, Probability: 1, Magnitude: 0.5}}}, false},
+		{"slowdown ok", Plan{Events: []Event{{Kind: CoreSlowdown, Probability: 1, Magnitude: 2}}}, true},
+		{"truncate zero keep", Plan{Events: []Event{{Kind: BurstTruncate, Probability: 1, Magnitude: 0}}}, false},
+		{"truncate ok", Plan{Events: []Event{{Kind: BurstTruncate, Probability: 1, Magnitude: 0.5}}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewInjector(c.plan)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewInjector(%+v) err=%v, want ok=%v", c.plan, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	if i.Fire(NICDrop) {
+		t.Fatal("nil injector fired")
+	}
+	if got := i.TruncateBurst(32); got != 32 {
+		t.Fatalf("nil injector truncated burst to %d", got)
+	}
+	if got := i.ServiceScale(0); got != 1 {
+		t.Fatalf("nil injector scaled service by %v", got)
+	}
+	if c := i.Counts(); c != (Counts{}) {
+		t.Fatalf("nil injector counted %+v", c)
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	i := MustNewInjector(Plan{Seed: 1, Events: []Event{
+		{Kind: NICDrop, Probability: 1, From: 3, To: 6},
+	}})
+	var fired []int
+	for op := 0; op < 10; op++ {
+		if i.Fire(NICDrop) {
+			fired = append(fired, op)
+		}
+	}
+	want := []int{3, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for j := range want {
+		if fired[j] != want[j] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if c := i.Counts(); c.NICDrops != 3 {
+		t.Fatalf("NICDrops = %d, want 3", c.NICDrops)
+	}
+	if ops := i.Opportunities(NICDrop); ops != 10 {
+		t.Fatalf("opportunities = %d, want 10", ops)
+	}
+}
+
+func TestDeterministicFiring(t *testing.T) {
+	plan := Plan{Seed: 42, Events: []Event{
+		{Kind: NICDrop, Probability: 0.3},
+		{Kind: MempoolExhausted, Probability: 0.1, From: 100},
+		{Kind: CoreSlowdown, Probability: 0.5, Magnitude: 2.5, Core: -1},
+	}}
+	run := func() ([]bool, []float64, Counts) {
+		i := MustNewInjector(plan)
+		var fires []bool
+		var scales []float64
+		for n := 0; n < 500; n++ {
+			fires = append(fires, i.Fire(NICDrop), i.Fire(MempoolExhausted))
+			scales = append(scales, i.ServiceScale(n%8))
+		}
+		return fires, scales, i.Counts()
+	}
+	f1, s1, c1 := run()
+	f2, s2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverged: %+v vs %+v", c1, c2)
+	}
+	for j := range f1 {
+		if f1[j] != f2[j] {
+			t.Fatalf("fire sequence diverged at %d", j)
+		}
+	}
+	for j := range s1 {
+		if s1[j] != s2[j] {
+			t.Fatalf("scale sequence diverged at %d", j)
+		}
+	}
+	if c1.NICDrops == 0 || c1.SlowedPackets == 0 {
+		t.Fatalf("probabilistic events never fired: %+v", c1)
+	}
+}
+
+func TestServiceScaleCoreFilter(t *testing.T) {
+	i := MustNewInjector(Plan{Seed: 1, Events: []Event{
+		{Kind: CoreSlowdown, Probability: 1, Magnitude: 3, Core: 2},
+	}})
+	if s := i.ServiceScale(0); s != 1 {
+		t.Fatalf("core 0 scaled by %v, want 1", s)
+	}
+	if s := i.ServiceScale(2); s != 3 {
+		t.Fatalf("core 2 scaled by %v, want 3", s)
+	}
+}
+
+func TestTruncateBurst(t *testing.T) {
+	i := MustNewInjector(Plan{Seed: 1, Events: []Event{
+		{Kind: BurstTruncate, Probability: 1, Magnitude: 0.25},
+	}})
+	if got := i.TruncateBurst(32); got != 8 {
+		t.Fatalf("TruncateBurst(32) = %d, want 8", got)
+	}
+	// A burst of one can't shrink below one.
+	if got := i.TruncateBurst(1); got != 1 {
+		t.Fatalf("TruncateBurst(1) = %d, want 1", got)
+	}
+}
+
+func TestMispredictedHash(t *testing.T) {
+	inner, err := chash.ForProfileSlices(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMispredictedHash(nil, 1, 0.5); err == nil {
+		t.Fatal("accepted nil inner hash")
+	}
+	if _, err := NewMispredictedHash(inner, 1, 1.5); err == nil {
+		t.Fatal("accepted rate > 1")
+	}
+
+	h, err := NewMispredictedHash(inner, 7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Slices() != inner.Slices() {
+		t.Fatalf("slices = %d, want %d", h.Slices(), inner.Slices())
+	}
+	wrong := 0
+	const lines = 20000
+	for i := 0; i < lines; i++ {
+		pa := uint64(i) * 64
+		s := h.Slice(pa)
+		// Purity: same address, same answer.
+		if s2 := h.Slice(pa + 63); s2 != s {
+			t.Fatalf("line split across slices: %d vs %d", s, s2)
+		}
+		if s != inner.Slice(pa) {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / lines
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("mispredicted %.3f of lines, want ≈0.20", frac)
+	}
+
+	// Rate 0 is transparent; rate 1 is always wrong.
+	if err := h.SetRate(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		pa := uint64(i) * 64
+		if h.Slice(pa) != inner.Slice(pa) {
+			t.Fatal("rate-0 hash mispredicted")
+		}
+	}
+	if err := h.SetRate(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		pa := uint64(i) * 64
+		if h.Slice(pa) == inner.Slice(pa) {
+			t.Fatal("rate-1 hash predicted correctly")
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
 	"sliceaware/internal/interconnect"
 	"sliceaware/internal/phys"
 	"sliceaware/internal/slicemem"
@@ -69,6 +70,11 @@ type Store struct {
 
 	// hotCounts tracks per-key accesses for migration (nil = disabled).
 	hotCounts []uint32
+
+	// faults injects swap contention into migration; retry bounds the
+	// fight against it (zero value = defaults).
+	faults *faults.Injector
+	retry  RetryPolicy
 
 	// footprint models the protocol/connection state the server touches
 	// per request (socket structures, stack, allocator metadata); it

@@ -3,7 +3,34 @@ package kvs
 import (
 	"fmt"
 	"sort"
+
+	"sliceaware/internal/faults"
 )
+
+// ErrContended marks a migration pass that could not move any key because
+// every swap hit injected contention; it also matches faults.ErrInjected.
+var ErrContended = fmt.Errorf("kvs: migration contended: %w", faults.ErrInjected)
+
+// Default retry bounds for contended swaps.
+const (
+	DefaultRetryAttempts = 3
+	DefaultBackoffCycles = 64
+)
+
+// RetryPolicy bounds how hard a migration pass fights contention on one
+// key: up to MaxAttempts tries, waiting BackoffCycles before the second
+// and doubling before each further one. Zero fields take the defaults.
+type RetryPolicy struct {
+	MaxAttempts   int
+	BackoffCycles uint64
+}
+
+// SetFaultInjector arms value-swap contention (a concurrent reader pinning
+// the line set, modelled by MigrationContention events). Nil disarms.
+func (s *Store) SetFaultInjector(fi *faults.Injector) { s.faults = fi }
+
+// SetMigrationRetry overrides the contention retry policy.
+func (s *Store) SetMigrationRetry(p RetryPolicy) { s.retry = p }
 
 // Hot-data monitoring and migration (§8): applications whose hot set
 // shifts over time "should employ monitoring/migration techniques to deal
@@ -54,7 +81,9 @@ func (s *Store) sliceHomed(key uint64) bool {
 type MigrationResult struct {
 	Migrated int    // keys whose storage moved into the preferred slice
 	Evicted  int    // previously slice-homed keys displaced to make room
-	Cycles   uint64 // copy cost charged to the serving core
+	Retries  int    // swap attempts lost to contention (and retried or given up)
+	Skipped  int    // keys abandoned after exhausting the retry budget
+	Cycles   uint64 // copy cost charged to the serving core, incl. backoff
 }
 
 // MigrateTopK moves the storage of the K most-accessed keys of the current
@@ -89,6 +118,15 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 		}
 	}
 
+	attempts := s.retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetryAttempts
+	}
+	firstBackoff := s.retry.BackoffCycles
+	if firstBackoff == 0 {
+		firstBackoff = DefaultBackoffCycles
+	}
+
 	res := MigrationResult{}
 	start := s.core.Cycles()
 	di := 0
@@ -105,11 +143,33 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 		}
 		donor := donors[di]
 		di++
-		s.swapValueStorage(key, donor)
+		// A concurrent reader can pin either line set mid-swap; back off
+		// (burning serving-core cycles) and retry, bounded so one hot key
+		// cannot stall the whole epoch's pass.
+		moved := false
+		backoff := firstBackoff
+		for a := 0; a < attempts; a++ {
+			if s.faults.Fire(faults.MigrationContention) {
+				res.Retries++
+				s.core.AddCycles(backoff)
+				backoff *= 2
+				continue
+			}
+			s.swapValueStorage(key, donor)
+			moved = true
+			break
+		}
+		if !moved {
+			res.Skipped++
+			continue
+		}
 		res.Migrated++
 		res.Evicted++
 	}
 	res.Cycles = s.core.Cycles() - start
+	if res.Migrated == 0 && res.Skipped > 0 {
+		return res, fmt.Errorf("%w: all %d candidate keys skipped", ErrContended, res.Skipped)
+	}
 	return res, nil
 }
 

@@ -1,9 +1,11 @@
 package kvs
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"sliceaware/internal/faults"
 	"sliceaware/internal/zipf"
 )
 
@@ -161,3 +163,65 @@ type offsetGen struct {
 
 func (o offsetGen) Next() uint64 { return o.inner.Next() + o.offset }
 func (o offsetGen) N() uint64    { return o.inner.N() + o.offset }
+
+func TestMigrationRetriesUnderContention(t *testing.T) {
+	const keys = 1 << 12
+	setup := func(t *testing.T, fi *faults.Injector) *Store {
+		t.Helper()
+		s, err := New(newMachine(t), Config{Keys: keys, ServingCore: 0, SliceAware: true, HotLines: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetFaultInjector(fi)
+		s.EnableHotTracking()
+		gen, err := zipf.NewZipf(rand.New(rand.NewSource(3)), 1024, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(Workload{GetRatio: 1, Keys: offsetGen{gen, 2048}, Requests: 4000}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Intermittent contention: retries happen, progress is still made, and
+	// the backoff cycles show up in the bill.
+	fi := faults.MustNewInjector(faults.Plan{Seed: 5, Events: []faults.Event{
+		{Kind: faults.MigrationContention, Probability: 0.4},
+	}})
+	s := setup(t, fi)
+	res, err := s.MigrateTopK(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated == 0 {
+		t.Fatal("no progress despite retry budget")
+	}
+	if res.Retries == 0 {
+		t.Error("40% contention produced zero retries")
+	}
+
+	// Permanent contention: every key exhausts its attempts, the pass
+	// reports ErrContended (matching the injected-fault sentinel), and the
+	// partial result still carries the accounting.
+	stuck := faults.MustNewInjector(faults.Plan{Seed: 5, Events: []faults.Event{
+		{Kind: faults.MigrationContention, Probability: 1},
+	}})
+	s2 := setup(t, stuck)
+	res2, err := s2.MigrateTopK(64)
+	if err == nil {
+		t.Fatal("fully contended migration reported success")
+	}
+	if !errors.Is(err, ErrContended) || !errors.Is(err, faults.ErrInjected) {
+		t.Errorf("error %v does not wrap ErrContended/faults.ErrInjected", err)
+	}
+	if res2.Migrated != 0 || res2.Skipped == 0 {
+		t.Errorf("fully contended pass: %+v", res2)
+	}
+	if res2.Retries != res2.Skipped*DefaultRetryAttempts {
+		t.Errorf("retries = %d, want %d", res2.Retries, res2.Skipped*DefaultRetryAttempts)
+	}
+	if res2.Cycles == 0 {
+		t.Error("backoff charged no cycles")
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
+	"sliceaware/internal/nfv"
+	"sliceaware/internal/stats"
+	"sliceaware/internal/trace"
+)
+
+// buildFaultyDuT assembles a forwarding DuT armed with the given injector
+// (nil for the ideal pipeline).
+func buildFaultyDuT(t *testing.T, fi *faults.Injector) *DuT {
+	t.Helper()
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 8, RingSize: 256, PoolMbufs: 1024,
+		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: dpdk.RSS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := nfv.NewChain("fwd", nfv.NewForwarder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut, err := NewDuT(DuTConfig{Machine: m, Port: port, Chain: chain, Faults: fi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dut
+}
+
+func chaosPlan(seed int64) faults.Plan {
+	return faults.Plan{Seed: seed, Events: []faults.Event{
+		{Kind: faults.NICDrop, Probability: 0.02},
+		{Kind: faults.NICCorrupt, Probability: 0.01},
+		{Kind: faults.RingOverflow, Probability: 0.005},
+		{Kind: faults.MempoolExhausted, Probability: 0.005},
+		{Kind: faults.CoreSlowdown, Probability: 0.5, Magnitude: 2, Core: -1},
+		{Kind: faults.BurstTruncate, Probability: 0.2, Magnitude: 0.5},
+	}}
+}
+
+// The acceptance bar for the whole layer: same fault plan, same seed, same
+// workload ⇒ bit-identical Result, latencies and per-fault counters
+// included.
+func TestFaultPlanDeterminism(t *testing.T) {
+	run := func() Result {
+		dut := buildFaultyDuT(t, faults.MustNewInjector(chaosPlan(99)))
+		gen, err := trace.NewCampusMix(rand.New(rand.NewSource(5)), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunRate(dut, gen, 4000, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical plan+seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.FaultCounts.Total() == 0 {
+		t.Fatal("chaos plan fired nothing")
+	}
+
+	// A different injector seed must redraw the fault pattern.
+	dut := buildFaultyDuT(t, faults.MustNewInjector(chaosPlan(100)))
+	gen, _ := trace.NewCampusMix(rand.New(rand.NewSource(5)), 1024)
+	c, err := RunRate(dut, gen, 4000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different fault seeds produced identical runs")
+	}
+}
+
+// An armed-but-empty plan must behave exactly like no injector at all.
+func TestEmptyPlanMatchesNoInjector(t *testing.T) {
+	run := func(fi *faults.Injector) Result {
+		dut := buildFaultyDuT(t, fi)
+		gen, err := trace.NewCampusMix(rand.New(rand.NewSource(6)), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunRate(dut, gen, 3000, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	armed := run(faults.MustNewInjector(faults.Plan{Seed: 1}))
+	if !reflect.DeepEqual(clean, armed) {
+		t.Error("empty fault plan changed the run")
+	}
+}
+
+func TestFaultAccountingAddsUp(t *testing.T) {
+	fi := faults.MustNewInjector(chaosPlan(7))
+	dut := buildFaultyDuT(t, fi)
+	gen, err := trace.NewCampusMix(rand.New(rand.NewSource(7)), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRate(dut, gen, 5000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.DropBreakdown
+	if sum := bd.RxDropRing + bd.RxDropPool + bd.RxDropWire + bd.RxDropCorrupt; sum != res.Dropped {
+		t.Errorf("breakdown sums to %d, Dropped = %d", sum, res.Dropped)
+	}
+	fc := res.FaultCounts
+	if bd.RxDropWire != fc.NICDrops {
+		t.Errorf("wire drops %d != injected NIC drops %d", bd.RxDropWire, fc.NICDrops)
+	}
+	if bd.RxDropCorrupt != fc.NICCorrupts {
+		t.Errorf("corrupt drops %d != injected corruptions %d", bd.RxDropCorrupt, fc.NICCorrupts)
+	}
+	if bd.RxDropRing < fc.RingOverflows {
+		t.Errorf("ring drops %d below injected overflows %d", bd.RxDropRing, fc.RingOverflows)
+	}
+	if uint64(res.Delivered)+res.Dropped != uint64(res.OfferedPkts) {
+		t.Errorf("delivered %d + dropped %d != offered %d", res.Delivered, res.Dropped, res.OfferedPkts)
+	}
+	if cause := dut.Port().LastDropCause(); cause == nil || !errors.Is(cause, faults.ErrInjected) && !errors.Is(cause, dpdk.ErrRingFull) && !errors.Is(cause, dpdk.ErrPoolExhausted) && !errors.Is(cause, dpdk.ErrFrameDropped) {
+		t.Errorf("last drop cause %v is not a known sentinel", cause)
+	}
+}
+
+func TestCoreSlowdownStretchesLatency(t *testing.T) {
+	run := func(fi *faults.Injector) []float64 {
+		dut := buildFaultyDuT(t, fi)
+		gen, err := trace.NewFixedSize(rand.New(rand.NewSource(8)), 64, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunPPS(dut, gen, 2000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LatenciesNs
+	}
+	clean := stats.Mean(run(nil))
+	slowed := stats.Mean(run(faults.MustNewInjector(faults.Plan{Seed: 2, Events: []faults.Event{
+		{Kind: faults.CoreSlowdown, Probability: 1, Magnitude: 3, Core: -1},
+	}})))
+	if slowed < clean*2.5 {
+		t.Errorf("3x slowdown raised mean latency only %.2fx (%.0f → %.0f ns)",
+			slowed/clean, clean, slowed)
+	}
+}
+
+func TestRunValidationSentinel(t *testing.T) {
+	dut := buildFaultyDuT(t, nil)
+	gen, _ := trace.NewFixedSize(rand.New(rand.NewSource(1)), 64, 1)
+	if _, err := RunRate(dut, gen, 0, 10); !errors.Is(err, ErrInvalidRun) {
+		t.Errorf("RunRate error %v does not wrap ErrInvalidRun", err)
+	}
+	if _, err := RunPPS(dut, gen, 10, 0); !errors.Is(err, ErrInvalidRun) {
+		t.Errorf("RunPPS error %v does not wrap ErrInvalidRun", err)
+	}
+}

@@ -12,13 +12,19 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
 	"sliceaware/internal/nfv"
 	"sliceaware/internal/trace"
 )
+
+// ErrInvalidRun marks run parameters that cannot describe a workload
+// (non-positive packet count or offered rate).
+var ErrInvalidRun = errors.New("netsim: invalid run parameters")
 
 // Calibration constants for the simulated testbed.
 const (
@@ -69,6 +75,9 @@ type DuTConfig struct {
 	OverheadCycles uint64
 	// Burst overrides DefaultBurst when non-zero.
 	Burst int
+	// Faults arms the whole pipeline (NIC, rings, mempools, cores) against
+	// a fault plan; nil runs the ideal testbed.
+	Faults *faults.Injector
 }
 
 // DuT is the device under test: one port polled by one core per queue.
@@ -78,6 +87,7 @@ type DuT struct {
 	chain    *nfv.Chain
 	overhead uint64
 	burst    int
+	faults   *faults.Injector
 
 	freq float64 // Hz
 
@@ -102,7 +112,11 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 		chain:    cfg.Chain,
 		overhead: cfg.OverheadCycles,
 		burst:    cfg.Burst,
+		faults:   cfg.Faults,
 		freq:     cfg.Machine.Profile.FrequencyHz,
+	}
+	if cfg.Faults != nil {
+		cfg.Port.SetFaultInjector(cfg.Faults)
 	}
 	if d.overhead == 0 {
 		d.overhead = DefaultOverheadCycles
@@ -166,6 +180,9 @@ func (d *DuT) advanceQueue(q int, t float64) {
 			// ...plus the fixed per-packet driver/PCIe/NIC overhead.
 			core.AddCycles(d.overhead)
 			serviceNs := float64(core.Cycles()-before) / d.freq * 1e9
+			// Co-runner interference / frequency throttling stretches the
+			// wall-clock service time without changing cache behaviour.
+			serviceNs *= d.faults.ServiceScale(q)
 
 			begin := d.coreFree[q]
 			if arr > begin {
@@ -213,7 +230,10 @@ func (d *DuT) Reset() {
 	}
 }
 
-// Result summarizes one LoadGen run.
+// Result summarizes one LoadGen run. Fault-injected runs never abort
+// mid-run: every loss is accounted here (Dropped plus the DropBreakdown
+// and FaultCounts detail), so a degraded run still yields a complete,
+// comparable Result.
 type Result struct {
 	LatenciesNs  []float64
 	OfferedGbps  float64
@@ -222,71 +242,21 @@ type Result struct {
 	Delivered    uint64
 	Dropped      uint64
 	DurationNs   float64
+
+	// DropBreakdown carries the port's per-cause RX loss counters for
+	// this run (ring, pool, wire, corruption).
+	DropBreakdown dpdk.PortStats
+	// FaultCounts snapshots the injector's triggered-fault counters at the
+	// end of the run (zero when the DuT runs without an injector).
+	FaultCounts faults.Counts
 }
 
-// RunRate offers count packets from gen at offeredGbps, paced by wire size
-// and capped by the NIC ingress model, and returns the collected result.
-func RunRate(d *DuT, gen trace.Generator, count int, offeredGbps float64) (Result, error) {
-	if count <= 0 || offeredGbps <= 0 {
-		return Result{}, fmt.Errorf("netsim: need positive count and rate")
-	}
-	rate := offeredGbps
-	if rate > NICCapGbps {
-		rate = NICCapGbps
-	}
-	txBefore := d.port.Stats()
-	t := 0.0
-	// Steady-state throughput window: skip the first quarter (warm-up)
-	// and stop at the last arrival (excluding the drain tail).
-	var windowStartNs float64
-	var windowStartTx uint64
-	for i := 0; i < count; i++ {
-		pkt := gen.Next()
-		d.Arrive(pkt, t)
-		if i == count/4 {
-			windowStartNs = t
-			windowStartTx = d.port.Stats().TxBytes
-		}
-		wireNs := float64(pkt.Size*8) / rate // Gbps ⇒ bits/ns
-		minGapNs := 1e9 / NICCapPPS
-		if wireNs < minGapNs {
-			wireNs = minGapNs
-		}
-		t += wireNs
-	}
-	// Advance the cores to the end of the arrival window before closing
-	// the throughput measurement, then drain the leftovers.
-	d.advanceTo(t)
-	windowTx := d.port.Stats().TxBytes - windowStartTx
-	end := d.Drain()
-	if end < t {
-		end = t
-	}
-	st := d.port.Stats()
-	res := Result{
-		LatenciesNs: d.Latencies(),
-		OfferedGbps: offeredGbps,
-		OfferedPkts: count,
-		Delivered:   st.RxPackets - txBefore.RxPackets,
-		Dropped:     st.RxDropped - txBefore.RxDropped,
-		DurationNs:  end,
-	}
-	if window := t - windowStartNs; window > 0 {
-		res.AchievedGbps = float64(windowTx) * 8 / window
-	}
-	return res, nil
-}
-
-// RunPPS offers count packets at a fixed packet rate (Fig 12's 1000 pps).
-func RunPPS(d *DuT, gen trace.Generator, count int, pps float64) (Result, error) {
-	if count <= 0 || pps <= 0 {
-		return Result{}, fmt.Errorf("netsim: need positive count and rate")
-	}
-	if pps > NICCapPPS {
-		pps = NICCapPPS
-	}
-	txBefore := d.port.Stats()
-	gap := 1e9 / pps
+// runLoop is the shared offered-load loop behind RunRate and RunPPS:
+// gap(pkt) returns the inter-arrival spacing in ns for the packet just
+// offered. The steady-state throughput window skips the first quarter
+// (warm-up) and stops at the last arrival (excluding the drain tail).
+func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) float64) (Result, float64) {
+	before := d.port.Stats()
 	t := 0.0
 	var offeredBits float64
 	var windowStartNs float64
@@ -299,8 +269,10 @@ func RunPPS(d *DuT, gen trace.Generator, count int, pps float64) (Result, error)
 			windowStartNs = t
 			windowStartTx = d.port.Stats().TxBytes
 		}
-		t += gap
+		t += gap(pkt)
 	}
+	// Advance the cores to the end of the arrival window before closing
+	// the throughput measurement, then drain the leftovers.
 	d.advanceTo(t)
 	windowTx := d.port.Stats().TxBytes - windowStartTx
 	end := d.Drain()
@@ -310,14 +282,56 @@ func RunPPS(d *DuT, gen trace.Generator, count int, pps float64) (Result, error)
 	st := d.port.Stats()
 	res := Result{
 		LatenciesNs: d.Latencies(),
-		OfferedGbps: offeredBits / t,
 		OfferedPkts: count,
-		Delivered:   st.RxPackets - txBefore.RxPackets,
-		Dropped:     st.RxDropped - txBefore.RxDropped,
+		Delivered:   st.RxPackets - before.RxPackets,
+		Dropped:     st.RxDropped - before.RxDropped,
 		DurationNs:  end,
+		DropBreakdown: dpdk.PortStats{
+			RxDropRing:    st.RxDropRing - before.RxDropRing,
+			RxDropPool:    st.RxDropPool - before.RxDropPool,
+			RxDropWire:    st.RxDropWire - before.RxDropWire,
+			RxDropCorrupt: st.RxDropCorrupt - before.RxDropCorrupt,
+		},
+		FaultCounts: d.faults.Counts(),
 	}
 	if window := t - windowStartNs; window > 0 {
 		res.AchievedGbps = float64(windowTx) * 8 / window
 	}
+	return res, offeredBits
+}
+
+// RunRate offers count packets from gen at offeredGbps, paced by wire size
+// and capped by the NIC ingress model, and returns the collected result.
+func RunRate(d *DuT, gen trace.Generator, count int, offeredGbps float64) (Result, error) {
+	if count <= 0 || offeredGbps <= 0 {
+		return Result{}, fmt.Errorf("netsim: need positive count and rate: %w", ErrInvalidRun)
+	}
+	rate := offeredGbps
+	if rate > NICCapGbps {
+		rate = NICCapGbps
+	}
+	minGapNs := 1e9 / NICCapPPS
+	res, _ := runLoop(d, gen, count, func(pkt trace.Packet) float64 {
+		wireNs := float64(pkt.Size*8) / rate // Gbps ⇒ bits/ns
+		if wireNs < minGapNs {
+			wireNs = minGapNs
+		}
+		return wireNs
+	})
+	res.OfferedGbps = offeredGbps
+	return res, nil
+}
+
+// RunPPS offers count packets at a fixed packet rate (Fig 12's 1000 pps).
+func RunPPS(d *DuT, gen trace.Generator, count int, pps float64) (Result, error) {
+	if count <= 0 || pps <= 0 {
+		return Result{}, fmt.Errorf("netsim: need positive count and rate: %w", ErrInvalidRun)
+	}
+	if pps > NICCapPPS {
+		pps = NICCapPPS
+	}
+	gap := 1e9 / pps
+	res, offeredBits := runLoop(d, gen, count, func(trace.Packet) float64 { return gap })
+	res.OfferedGbps = offeredBits / (float64(count) * gap)
 	return res, nil
 }
