@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci
+.PHONY: all build test race vet bench ci
 
 all: build test
 
@@ -15,5 +15,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# One iteration of every benchmark — a smoke pass that keeps the harnesses
+# compiling and running, not a measurement.
+bench:
+	$(GO) test -bench . -benchtime=1x ./...
 
 ci: build vet race

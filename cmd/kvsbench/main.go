@@ -4,7 +4,7 @@
 // Usage:
 //
 //	kvsbench [-keys 131072] [-get 1.0] [-skew 0.99|0 for uniform]
-//	         [-requests 50000] [-sliceaware]
+//	         [-requests 50000] [-sliceaware] [-metrics-out m.prom]
 package main
 
 import (
@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/kvs"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/zipf"
 )
 
@@ -26,12 +28,18 @@ func main() {
 	requests := flag.Int("requests", 50000, "measured requests (a half-size warm-up precedes)")
 	sliceAware := flag.Bool("sliceaware", false, "home hot values/index to the serving core's slice")
 	core := flag.Int("core", 0, "serving core")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry here (Prometheus text; .json = combined JSON)")
 	flag.Parse()
 
 	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
 	check(err)
 	store, err := kvs.New(m, kvs.Config{Keys: *keys, ServingCore: *core, SliceAware: *sliceAware})
 	check(err)
+	var collector *telemetry.Collector
+	if *metricsOut != "" {
+		collector = telemetry.New(telemetry.Config{Shards: m.Cores()})
+		store.SetTelemetry(collector)
+	}
 
 	var gen zipf.Generator
 	rng := rand.New(rand.NewSource(7))
@@ -58,6 +66,20 @@ func main() {
 	fmt.Printf("KVS: %d keys, %s placement, %s keys, %.0f%% GET\n", *keys, mode, dist, *getRatio*100)
 	fmt.Printf("  %.3f M transactions/s  (%.1f cycles/request; %d GET, %d SET, %d dropped)\n",
 		res.TPSMillions, res.CyclesPerReq, res.Gets, res.Sets, res.Dropped)
+
+	if collector != nil {
+		f, err := os.Create(*metricsOut)
+		check(err)
+		var werr error
+		if strings.HasSuffix(*metricsOut, ".json") {
+			werr = collector.WriteJSON(f)
+		} else {
+			werr = collector.Registry().WritePrometheus(f)
+		}
+		check(werr)
+		check(f.Close())
+		fmt.Printf("  telemetry: metrics → %s\n", *metricsOut)
+	}
 }
 
 func check(err error) {

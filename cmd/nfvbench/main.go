@@ -15,13 +15,24 @@
 //	nfvbench -cachedirector -fault-drop 0.01 -fault-corrupt 0.005 \
 //	         -fault-slowdown 2 -fault-seed 7
 //	nfvbench -cachedirector -mispredict 1 -watchdog
+//
+// Telemetry: -metrics-out dumps the metrics registry (Prometheus text,
+// or combined JSON when the path ends in .json), -trace-out writes the
+// packet flight recorder as a chrome://tracing-loadable trace,
+// -trace-sample sets its packet sampling period, and -slice-timeline
+// writes the per-slice LLC heat timeline as JSON:
+//
+//	nfvbench -cachedirector -metrics-out m.prom -trace-out t.jsonl \
+//	         -slice-timeline s.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachedirector"
@@ -31,6 +42,7 @@ import (
 	"sliceaware/internal/netsim"
 	"sliceaware/internal/nfv"
 	"sliceaware/internal/stats"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 )
 
@@ -52,6 +64,10 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (same seed, same chaos)")
 	mispredict := flag.Float64("mispredict", 0, "fraction of lines the deployed slice-hash profile gets wrong")
 	watchdog := flag.Bool("watchdog", false, "arm CacheDirector's placement watchdog (degraded-mode fallback)")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry here (Prometheus text; .json = combined JSON)")
+	traceOut := flag.String("trace-out", "", "write the packet flight recorder here (chrome://tracing JSON, one event per line)")
+	traceSample := flag.Int("trace-sample", 64, "record full stage spans for every N-th packet")
+	sliceTimeline := flag.String("slice-timeline", "", "write the per-slice LLC heat timeline here (JSON)")
 	flag.Parse()
 
 	steering := dpdk.RSS
@@ -135,7 +151,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector})
+	var collector *telemetry.Collector
+	if *metricsOut != "" || *traceOut != "" || *sliceTimeline != "" {
+		collector = telemetry.New(telemetry.Config{Shards: 8, SampleEvery: *traceSample})
+		if director != nil {
+			director.SetTelemetry(collector)
+		}
+	}
+
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector, Telemetry: collector})
 	check(err)
 
 	var lat []float64
@@ -191,6 +215,39 @@ func main() {
 		fmt.Printf("  watchdog: mode=%s probes=%d misses=%d degradations=%d recoveries=%d\n",
 			director.Mode(), ws.Probes, ws.ProbeMisses, ws.Degradations, ws.Recoveries)
 	}
+
+	if collector != nil {
+		if *metricsOut != "" {
+			check(writeTo(*metricsOut, func(w io.Writer) error {
+				if strings.HasSuffix(*metricsOut, ".json") {
+					return collector.WriteJSON(w)
+				}
+				return collector.Registry().WritePrometheus(w)
+			}))
+			fmt.Printf("  telemetry: metrics → %s\n", *metricsOut)
+		}
+		if *traceOut != "" {
+			check(writeTo(*traceOut, collector.WriteChromeTrace))
+			fmt.Printf("  telemetry: flight trace → %s (load in chrome://tracing)\n", *traceOut)
+		}
+		if *sliceTimeline != "" {
+			check(writeTo(*sliceTimeline, collector.Timeline().WriteJSON))
+			fmt.Printf("  telemetry: slice heat timeline → %s\n", *sliceTimeline)
+		}
+	}
+}
+
+// writeTo renders through fn into path, creating/truncating it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func check(err error) {

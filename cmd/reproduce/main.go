@@ -4,6 +4,13 @@
 // Usage:
 //
 //	reproduce [-scale quick|full] [-seed N] [-only T1,F4,F5,...] [-all]
+//	          [-metrics-dir DIR]
+//
+// -metrics-dir arms telemetry on every experiment DuT and dumps one
+// Prometheus text file per figure (DIR/<id>.prom) plus the figure's
+// slice heat timeline (DIR/<id>.timeline.json). Telemetry is
+// observation-only: the printed tables are byte-identical with and
+// without it.
 //
 // Paper artifacts: T1 F4 F5 F6 F7 F8 HR F12 F13 F14 T3 F15 F16 T4 F17
 // (T3 is derived from F13+F14 and runs them if not already selected).
@@ -18,18 +25,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"sliceaware/internal/experiments"
+	"sliceaware/internal/telemetry"
 )
+
+// writeTo renders through fn into path, creating/truncating it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "sample counts: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all paper artifacts)")
 	allFlag := flag.Bool("all", false, "also run ablations and extensions (A-*, S*)")
 	seedFlag := flag.Int64("seed", 1, "run-wide seed; same seed reproduces the same numbers")
+	metricsDir := flag.String("metrics-dir", "", "dump per-figure telemetry (Prometheus text + slice timeline JSON) into this directory")
 	flag.Parse()
 
 	experiments.SetSeed(*seedFlag)
@@ -55,6 +79,34 @@ func main() {
 
 	fmt.Printf("# Reproduction run (%s scale) — %s\n\n", scale, time.Now().Format(time.RFC3339))
 
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// dumpTelemetry writes one figure's metrics + timeline and re-arms a
+	// fresh collector for the next, so each dump covers one figure only.
+	dumpTelemetry := func(id string) {
+		if *metricsDir == "" {
+			return
+		}
+		c := experiments.Collector()
+		if c != nil {
+			base := filepath.Join(*metricsDir, strings.ToLower(id))
+			if err := writeTo(base+".prom", c.Registry().WritePrometheus); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: telemetry dump %s: %v\n", id, err)
+			}
+			if err := writeTo(base+".timeline.json", c.Timeline().WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: telemetry dump %s: %v\n", id, err)
+			}
+		}
+		experiments.SetCollector(telemetry.New(telemetry.Config{Shards: 8}))
+	}
+	if *metricsDir != "" {
+		experiments.SetCollector(telemetry.New(telemetry.Config{Shards: 8}))
+	}
+
 	exit := 0
 	show := func(id string, run func() (*experiments.Table, error)) {
 		if !selected(id) {
@@ -69,6 +121,7 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		dumpTelemetry(id)
 	}
 
 	show("T1", func() (*experiments.Table, error) { return experiments.Table1(), nil })
@@ -138,6 +191,7 @@ func main() {
 		}
 		tab.Fprint(os.Stdout)
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		dumpTelemetry(id)
 	}
 	showExt("A-DDIO", func() (*experiments.Table, error) { _, t, err := experiments.AblationDDIOWays(scale); return t, err })
 	showExt("A-PLACE", func() (*experiments.Table, error) { _, t, err := experiments.AblationPlacement(scale); return t, err })

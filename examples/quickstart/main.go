@@ -6,7 +6,10 @@
 //  2. reverse-engineer which slice a line lives in by polling the uncore
 //     counters — no ground-truth peeking;
 //  3. allocate one buffer homed to the local slice and one homed to the
-//     farthest slice, and measure the cycles per access from core 0.
+//     farthest slice, and measure the cycles per access from core 0;
+//  4. run a short instrumented NFV workload and read the unified
+//     telemetry back: per-slice LLC heat totals and the drop-cause
+//     breakdown from the packet flight recorder.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -14,12 +17,19 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
 	"sliceaware/internal/interconnect"
+	"sliceaware/internal/netsim"
+	"sliceaware/internal/nfv"
 	"sliceaware/internal/reveng"
 	"sliceaware/internal/slicemem"
+	"sliceaware/internal/telemetry"
+	"sliceaware/internal/trace"
 )
 
 func main() {
@@ -80,4 +90,80 @@ func main() {
 	}
 	fmt.Println("\nthe gap between those two numbers is the hidden NUCA headroom " +
 		"slice-aware memory management unlocks (§2.2 / Fig 5a of the paper)")
+
+	// Step 4: watch a workload through the telemetry layer. A fresh
+	// machine forwards 4000 packets at 40 Gbps with 2% injected wire loss;
+	// the collector records per-slice heat and every drop with its cause.
+	fmt.Println("\n--- telemetry: per-slice heat and drop causes ---")
+	if err := telemetryDemo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// telemetryDemo runs a short instrumented DuT and prints what the
+// unified telemetry layer saw.
+func telemetryDemo() error {
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		return err
+	}
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 8, RingSize: 1024, PoolMbufs: 4096,
+		HeadroomCap: dpdk.CacheDirectorHeadroom,
+	})
+	if err != nil {
+		return err
+	}
+	chain, err := nfv.NewChain("fwd", nfv.NewForwarder())
+	if err != nil {
+		return err
+	}
+	injector, err := faults.NewInjector(faults.Plan{
+		Seed:   7,
+		Events: []faults.Event{{Kind: faults.NICDrop, Probability: 0.02}},
+	})
+	if err != nil {
+		return err
+	}
+	collector := telemetry.New(telemetry.Config{Shards: 8})
+	dut, err := netsim.NewDuT(netsim.DuTConfig{
+		Machine: m, Port: port, Chain: chain,
+		Faults: injector, Telemetry: collector,
+	})
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewCampusMix(rand.New(rand.NewSource(42)), 1024)
+	if err != nil {
+		return err
+	}
+	res, err := netsim.RunRate(dut, gen, 4000, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forwarded %d packets (%.1f Gbps achieved), dropped %d\n\n",
+		res.Delivered, res.AchievedGbps, res.Dropped)
+
+	fmt.Println("per-slice LLC heat over the run (from the uncore timeline):")
+	fmt.Printf("  %-6s %10s %10s %10s %10s\n", "slice", "lookups", "misses", "ddio", "evict")
+	for i, ev := range collector.Timeline().Totals() {
+		fmt.Printf("  %-6d %10d %10d %10d %10d\n", i, ev.Lookups, ev.Misses, ev.DDIOFills, ev.Evictions)
+	}
+
+	fmt.Println("\ndrop causes (from the flight recorder's side-log):")
+	causes := map[string]int{}
+	for _, rec := range collector.Flight().Drops() {
+		if rec.Dropped {
+			causes[rec.DropCause]++
+		}
+	}
+	if len(causes) == 0 {
+		fmt.Println("  none")
+	}
+	for _, c := range []string{"wire", "corrupt", "ring", "pool", "unknown"} {
+		if n := causes[c]; n > 0 {
+			fmt.Printf("  %-8s %d\n", c, n)
+		}
+	}
+	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/interconnect"
+	"sliceaware/internal/telemetry"
 )
 
 // ErrInsufficientHeadroom marks a mempool whose mbufs provision less
@@ -89,6 +90,33 @@ type Director struct {
 
 	// wd is the optional placement watchdog (nil until EnableWatchdog).
 	wd *watchdog
+
+	// tele surfaces placement decisions and watchdog transitions; nil
+	// handles make every update a no-op.
+	tele        *telemetry.Collector
+	ctrPrepared *telemetry.Counter
+	ctrBypassed *telemetry.Counter
+	ctrProbes   *telemetry.Counter
+	ctrMisses   *telemetry.Counter
+}
+
+// SetTelemetry instruments the director: per-queue placement counters,
+// watchdog probe counters, and mode transitions as timeline events.
+func (d *Director) SetTelemetry(c *telemetry.Collector) {
+	d.tele = c
+	reg := c.Registry()
+	d.ctrPrepared = reg.Counter("cachedirector_prepared_total",
+		"Mbufs given slice-aware headroom by the driver hook")
+	d.ctrBypassed = reg.CounterL("cachedirector_prepared_total",
+		"Mbufs given slice-aware headroom by the driver hook", `mode="degraded"`)
+	d.ctrProbes = reg.Counter("cachedirector_watchdog_probes_total",
+		"Placement verifications performed by the watchdog")
+	d.ctrMisses = reg.CounterL("cachedirector_watchdog_probes_total",
+		"Placement verifications performed by the watchdog", `outcome="miss"`)
+	if reg != nil {
+		reg.GaugeFunc("cachedirector_mode", "Director operating state (0=active, 1=degraded)", "",
+			func() float64 { return float64(d.Mode()) })
+	}
 }
 
 // New builds a director. Core→slice targets default to each core's primary
@@ -205,7 +233,9 @@ func (d *Director) findHeadroom(pool *dpdk.Mempool, m *dpdk.Mbuf, slice, budgetL
 // mbuf keeps plain DPDK's default placement.
 func (d *Director) Prepare(m *dpdk.Mbuf, queue int) {
 	lines := int(m.Udata64 >> uint(queue*4) & 0xF)
+	d.ctrPrepared.Inc(queue)
 	if d.wd != nil && d.wd.mode == ModeDegraded {
+		d.ctrBypassed.Inc(queue)
 		hr := dpdk.DefaultHeadroom
 		if hr > m.HeadroomCapacity() {
 			hr = m.HeadroomCapacity()

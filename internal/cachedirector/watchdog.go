@@ -163,12 +163,20 @@ func (d *Director) probePlacement(m *dpdk.Mbuf, queue, lines int) {
 			verified = idx == d.hash.Slice(pa)
 		}
 	}
-	w.record(verified)
+	d.ctrProbes.Inc(queue)
+	if !verified {
+		d.ctrMisses.Inc(queue)
+	}
+	if tr := w.record(verified); tr != "" {
+		d.tele.Event("watchdog_" + tr)
+	}
 }
 
 // record pushes one probe outcome through the sliding window and drives
-// the mode state machine.
-func (w *watchdog) record(verified bool) {
+// the mode state machine. It returns the transition taken this probe:
+// "" (none), "degraded" (Active→Degraded) or "recovered"
+// (Degraded→Active), so the caller can surface it to telemetry.
+func (w *watchdog) record(verified bool) string {
 	if verified {
 		w.streak++
 	} else {
@@ -184,7 +192,7 @@ func (w *watchdog) record(verified bool) {
 	switch w.mode {
 	case ModeActive:
 		if w.wfill < len(w.window) {
-			return // judge only a full window
+			return "" // judge only a full window
 		}
 		healthy := 0
 		for _, ok := range w.window {
@@ -195,6 +203,7 @@ func (w *watchdog) record(verified bool) {
 		if float64(healthy) < w.cfg.MinHealthy*float64(len(w.window)) {
 			w.mode = ModeDegraded
 			w.stats.Degradations++
+			return "degraded"
 		}
 	case ModeDegraded:
 		if w.streak >= w.cfg.RecoverAfter {
@@ -206,6 +215,8 @@ func (w *watchdog) record(verified bool) {
 				w.window[i] = true
 			}
 			w.streak = 0
+			return "recovered"
 		}
 	}
+	return ""
 }

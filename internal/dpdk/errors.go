@@ -15,4 +15,7 @@ var (
 	// ErrFrameDropped marks a frame lost or rejected before buffering
 	// (wire loss or FCS failure).
 	ErrFrameDropped = errors.New("dpdk: frame dropped at NIC")
+	// ErrFrameCorrupt narrows ErrFrameDropped to FCS/CRC rejection, so
+	// telemetry can split "wire" from "corrupt" losses.
+	ErrFrameCorrupt = errors.New("dpdk: FCS check failed")
 )

@@ -5,6 +5,7 @@ import (
 
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/faults"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 )
 
@@ -75,6 +76,48 @@ type Port struct {
 	lastDrop error
 
 	stats PortStats
+	tm    portMetrics
+}
+
+// portMetrics holds the port's registry handles. All fields are nil-safe:
+// an un-instrumented port carries nil handles and every update is a
+// predictable-branch no-op.
+type portMetrics struct {
+	rxPackets, rxBytes    *telemetry.Counter
+	txPackets, txBytes    *telemetry.Counter
+	segments              *telemetry.Counter
+	dropRing, dropPool    *telemetry.Counter
+	dropWire, dropCorrupt *telemetry.Counter
+}
+
+// SetTelemetry instruments the port: hot-path traffic/drop counters
+// (sharded by queue) plus export-time gauges for RX ring occupancy,
+// mempool availability and installed FlowDirector rules.
+func (p *Port) SetTelemetry(c *telemetry.Collector) {
+	reg := c.Registry()
+	p.tm = portMetrics{
+		rxPackets:   reg.Counter("dpdk_port_rx_packets_total", "Packets accepted on the RX path"),
+		rxBytes:     reg.Counter("dpdk_port_rx_bytes_total", "Bytes accepted on the RX path"),
+		txPackets:   reg.Counter("dpdk_port_tx_packets_total", "Packets transmitted"),
+		txBytes:     reg.Counter("dpdk_port_tx_bytes_total", "Bytes transmitted"),
+		segments:    reg.Counter("dpdk_port_segments_total", "Chained segments created for oversized frames"),
+		dropRing:    reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="ring"`),
+		dropPool:    reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="pool"`),
+		dropWire:    reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="wire"`),
+		dropCorrupt: reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="corrupt"`),
+	}
+	if reg == nil {
+		return
+	}
+	for q := 0; q < p.queues; q++ {
+		q := q
+		reg.GaugeFunc("dpdk_rx_ring_occupancy", "RX descriptors waiting per queue",
+			fmt.Sprintf(`queue="%d"`, q), func() float64 { return float64(p.rx[q].Len()) })
+		reg.GaugeFunc("dpdk_mempool_available", "Free mbufs per queue mempool",
+			fmt.Sprintf(`queue="%d"`, q), func() float64 { return float64(p.pools[q].Available()) })
+	}
+	reg.GaugeFunc("dpdk_fdir_rules", "Installed FlowDirector rules", "",
+		func() float64 { return float64(len(p.fdirTable)) })
 }
 
 // PortConfig sizes a port.
@@ -202,11 +245,11 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 	// Wire loss and FCS rejection happen before steering: a frame the NIC
 	// never accepts installs no FlowDirector rule and allocates no mbuf.
 	if p.faults.Fire(faults.NICDrop) {
-		p.drop(&p.stats.RxDropWire, errWireDrop)
+		p.drop(&p.stats.RxDropWire, errWireDrop, p.tm.dropWire, 0)
 		return -1, false
 	}
 	if p.faults.Fire(faults.NICCorrupt) {
-		p.drop(&p.stats.RxDropCorrupt, errCorruptDrop)
+		p.drop(&p.stats.RxDropCorrupt, errCorruptDrop, p.tm.dropCorrupt, 0)
 		return -1, false
 	}
 	q := p.SteerQueue(pkt)
@@ -214,7 +257,7 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 
 	head := pool.Get()
 	if head == nil {
-		p.drop(&p.stats.RxDropPool, ErrPoolExhausted)
+		p.drop(&p.stats.RxDropPool, ErrPoolExhausted, p.tm.dropPool, q)
 		return q, false
 	}
 	if p.prepare != nil {
@@ -232,7 +275,7 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		next := pool.Get()
 		if next == nil {
 			pool.Put(head)
-			p.drop(&p.stats.RxDropPool, ErrPoolExhausted)
+			p.drop(&p.stats.RxDropPool, ErrPoolExhausted, p.tm.dropPool, q)
 			return q, false
 		}
 		// Continuation segments don't need slice-aware placement; they
@@ -244,6 +287,7 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		seg.Next = next
 		seg = next
 		p.stats.Segments++
+		p.tm.segments.Inc(q)
 	}
 
 	// DMA each segment's bytes into memory; DDIO allocates the lines in
@@ -254,30 +298,33 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 
 	if p.faults.Fire(faults.RingOverflow) {
 		pool.Put(head)
-		p.drop(&p.stats.RxDropRing, errRingInjected)
+		p.drop(&p.stats.RxDropRing, errRingInjected, p.tm.dropRing, q)
 		return q, false
 	}
 	if !p.rx[q].Enqueue(head) {
 		pool.Put(head)
-		p.drop(&p.stats.RxDropRing, ErrRingFull)
+		p.drop(&p.stats.RxDropRing, ErrRingFull, p.tm.dropRing, q)
 		return q, false
 	}
 	p.stats.RxPackets++
 	p.stats.RxBytes += uint64(pkt.Size)
+	p.tm.rxPackets.Inc(q)
+	p.tm.rxBytes.Add(q, uint64(pkt.Size))
 	return q, true
 }
 
 // drop books one RX loss against the total and its cause bucket.
-func (p *Port) drop(bucket *uint64, cause error) {
+func (p *Port) drop(bucket *uint64, cause error, ctr *telemetry.Counter, shard int) {
 	p.stats.RxDropped++
 	*bucket++
 	p.lastDrop = cause
+	ctr.Inc(shard)
 }
 
 // Pre-wrapped drop causes, so the hot path doesn't allocate per loss.
 var (
 	errWireDrop     = fmt.Errorf("%w: %w", ErrFrameDropped, faults.ErrInjected)
-	errCorruptDrop  = fmt.Errorf("%w: FCS check failed: %w", ErrFrameDropped, faults.ErrInjected)
+	errCorruptDrop  = fmt.Errorf("%w: %w: %w", ErrFrameDropped, ErrFrameCorrupt, faults.ErrInjected)
 	errRingInjected = fmt.Errorf("%w: %w", ErrRingFull, faults.ErrInjected)
 )
 
@@ -295,9 +342,10 @@ func (p *Port) TxBurst(q int, ms []*Mbuf) int {
 	for _, m := range ms {
 		p.stats.TxPackets++
 		p.stats.TxBytes += uint64(m.PktLen())
+		p.tm.txPackets.Inc(q)
+		p.tm.txBytes.Add(q, uint64(m.PktLen()))
 		m.pool.Put(m)
 	}
-	_ = q
 	return len(ms)
 }
 

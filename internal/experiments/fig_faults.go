@@ -76,6 +76,9 @@ func buildFaultsDuT(c faultsCase, hashSeed int64) (*netsim.DuT, *cachedirector.D
 				return nil, nil, err
 			}
 		}
+		if collector != nil {
+			dir.SetTelemetry(collector)
+		}
 	}
 	var fi *faults.Injector
 	if c.plan != nil {
@@ -88,7 +91,7 @@ func buildFaultsDuT(c faultsCase, hashSeed int64) (*netsim.DuT, *cachedirector.D
 	if err != nil {
 		return nil, nil, err
 	}
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, Faults: fi})
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, Faults: fi, Telemetry: collector})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -60,6 +60,9 @@ func buildNFV(kind ChainKind, withCD bool, steering dpdk.Steering) (*nfvSetup, e
 		if err := d.Attach(port); err != nil {
 			return nil, err
 		}
+		if collector != nil {
+			d.SetTelemetry(collector)
+		}
 	}
 	var chain *nfv.Chain
 	overhead := uint64(netsim.DefaultOverheadCycles)
@@ -91,7 +94,7 @@ func buildNFV(kind ChainKind, withCD bool, steering dpdk.Steering) (*nfvSetup, e
 	if err != nil {
 		return nil, err
 	}
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead})
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Telemetry: collector})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,16 @@
+package experiments
+
+import "sliceaware/internal/telemetry"
+
+// collector, when armed via SetCollector, instruments every DuT the
+// experiment builders assemble. Telemetry is observation-only: enabling
+// it must not change any figure's numbers (the determinism test in
+// telemetry_determinism_test.go holds this line).
+var collector *telemetry.Collector
+
+// SetCollector arms (or, with nil, disarms) telemetry for subsequently
+// built experiment DuTs — the reproduce binary's -metrics-dir flag.
+func SetCollector(c *telemetry.Collector) { collector = c }
+
+// Collector reports the active collector (nil when disarmed).
+func Collector() *telemetry.Collector { return collector }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"sliceaware/internal/telemetry"
+)
+
+// TestFigureTablesUnchangedByTelemetry holds the observation-only line:
+// arming a collector on the experiment DuTs must leave every printed
+// number byte-identical. Telemetry reads the simulated machine but never
+// charges cycles, draws randomness, or reorders work — if this test
+// fails, some instrumentation leaked into the simulation.
+func TestFigureTablesUnchangedByTelemetry(t *testing.T) {
+	render := func(c *telemetry.Collector) string {
+		SetSeed(1)
+		SetCollector(c)
+		defer SetCollector(nil)
+		_, tab, err := Figure12(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	plain := render(nil)
+	instrumented := render(telemetry.New(telemetry.Config{Shards: 8, SampleEvery: 1}))
+	if plain != instrumented {
+		t.Errorf("Figure12 table changed when telemetry was armed:\n--- without ---\n%s\n--- with ---\n%s",
+			plain, instrumented)
+	}
+	if plain == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestCollectorSeesExperimentTraffic is the counterpart: the armed
+// collector actually observed the figure's packets (so the determinism
+// above is not vacuous).
+func TestCollectorSeesExperimentTraffic(t *testing.T) {
+	SetSeed(1)
+	c := telemetry.New(telemetry.Config{Shards: 8})
+	SetCollector(c)
+	defer SetCollector(nil)
+	if _, _, err := Figure12(Quick); err != nil {
+		t.Fatal(err)
+	}
+	if c.Flight().Seq() == 0 {
+		t.Error("collector observed no packets during Figure12")
+	}
+	var lookups uint64
+	for _, ev := range c.Timeline().Totals() {
+		lookups += ev.Lookups
+	}
+	if lookups == 0 {
+		t.Error("timeline saw no LLC traffic during Figure12")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sliceaware/internal/interconnect"
 	"sliceaware/internal/phys"
 	"sliceaware/internal/slicemem"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 	"sliceaware/internal/zipf"
 )
@@ -85,6 +86,29 @@ type Store struct {
 	footprintPos int
 
 	gets, sets uint64
+
+	// tele surfaces request and migration activity; nil handles no-op.
+	tele        *telemetry.Collector
+	ctrGets     *telemetry.Counter
+	ctrSets     *telemetry.Counter
+	ctrDropped  *telemetry.Counter
+	ctrMigrated *telemetry.Counter
+	ctrRetries  *telemetry.Counter
+	ctrSkipped  *telemetry.Counter
+}
+
+// SetTelemetry instruments the store: request outcome counters (sharded
+// by the serving core) and migration activity counters.
+func (s *Store) SetTelemetry(c *telemetry.Collector) {
+	s.tele = c
+	reg := c.Registry()
+	s.ctrGets = reg.CounterL("kvs_requests_total", "Requests served by outcome", `op="get"`)
+	s.ctrSets = reg.CounterL("kvs_requests_total", "Requests served by outcome", `op="set"`)
+	s.ctrDropped = reg.CounterL("kvs_requests_total", "Requests served by outcome", `op="dropped"`)
+	s.ctrMigrated = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="migrated"`)
+	s.ctrRetries = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="retried"`)
+	s.ctrSkipped = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="skipped"`)
+	s.port.SetTelemetry(c)
 }
 
 // footprintBytes sizes the per-request protocol state region and
@@ -306,14 +330,21 @@ func (s *Store) Run(w Workload) (Result, error) {
 		pkt := trace.Packet{Size: RequestSize, FlowID: key, SrcIP: uint32(key), DstIP: 1, Proto: 6}
 		if _, ok := s.port.Deliver(pkt); !ok {
 			dropped++
+			s.ctrDropped.Inc(s.cfg.ServingCore)
 			continue
 		}
 		ms := s.port.RxBurst(0, 1)
 		if len(ms) != 1 {
 			dropped++
+			s.ctrDropped.Inc(s.cfg.ServingCore)
 			continue
 		}
 		s.serve(ms[0], key, isGet)
+		if isGet {
+			s.ctrGets.Inc(s.cfg.ServingCore)
+		} else {
+			s.ctrSets.Inc(s.cfg.ServingCore)
+		}
 		s.port.TxBurst(0, ms)
 	}
 	cycles := s.core.Cycles() - start

@@ -167,6 +167,10 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 		res.Evicted++
 	}
 	res.Cycles = s.core.Cycles() - start
+	sc := s.cfg.ServingCore
+	s.ctrMigrated.Add(sc, uint64(res.Migrated))
+	s.ctrRetries.Add(sc, uint64(res.Retries))
+	s.ctrSkipped.Add(sc, uint64(res.Skipped))
 	if res.Migrated == 0 && res.Skipped > 0 {
 		return res, fmt.Errorf("%w: all %d candidate keys skipped", ErrContended, res.Skipped)
 	}

@@ -19,6 +19,7 @@ import (
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/faults"
 	"sliceaware/internal/nfv"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 )
 
@@ -78,6 +79,12 @@ type DuTConfig struct {
 	// Faults arms the whole pipeline (NIC, rings, mempools, cores) against
 	// a fault plan; nil runs the ideal testbed.
 	Faults *faults.Injector
+	// Telemetry, when non-nil, instruments the whole pipeline: port
+	// counters, per-packet flight spans, latency histograms, and the
+	// per-slice LLC heat timeline bound to the machine's LLC. Telemetry
+	// observes the run but never perturbs it — no cycles are charged and
+	// no randomness is drawn.
+	Telemetry *telemetry.Collector
 }
 
 // DuT is the device under test: one port polled by one core per queue.
@@ -96,6 +103,15 @@ type DuT struct {
 
 	latencies []float64 // ns residency per processed packet
 	processed uint64
+
+	tele *telemetry.Collector
+	// recs mirrors arrivals: the flight record opened for each queued
+	// packet (nil entries when telemetry is off).
+	recs     [][]*telemetry.PacketRecord
+	nfSpans  []nfv.CycleSpan // scratch for ProcessTraced
+	histResd *telemetry.Histogram
+	histSvc  *telemetry.Histogram
+	ctrDone  *telemetry.Counter
 }
 
 // NewDuT validates and assembles the device under test.
@@ -126,6 +142,19 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 	}
 	d.coreFree = make([]float64, cfg.Port.Queues())
 	d.arrivals = make([][]float64, cfg.Port.Queues())
+	d.recs = make([][]*telemetry.PacketRecord, cfg.Port.Queues())
+	if cfg.Telemetry != nil {
+		d.tele = cfg.Telemetry
+		d.tele.BindLLC(cfg.Machine.LLC)
+		cfg.Port.SetTelemetry(d.tele)
+		reg := d.tele.Registry()
+		d.histResd = reg.Histogram("netsim_residency_ns",
+			"Per-packet DuT residency (queueing + service), ns", telemetry.DefLatencyBucketsNs())
+		d.histSvc = reg.Histogram("netsim_service_ns",
+			"Per-packet service time (chain + driver overhead), ns", telemetry.DefLatencyBucketsNs())
+		d.ctrDone = reg.Counter("netsim_packets_processed_total",
+			"Packets run to completion by the NF chain")
+	}
 	return d, nil
 }
 
@@ -134,13 +163,40 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 // real DuT overlaps reception with processing.
 func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
 	d.advanceTo(t)
+	// The LoadGen stamps the wire-arrival time here; generators leave
+	// Timestamp zero (see trace.Packet).
 	pkt.Timestamp = t
+	d.tele.SetNow(t)
+	d.tele.Timeline().Sample(t)
 	q, ok := d.port.Deliver(pkt)
 	if !ok {
+		d.tele.Flight().Drop(pkt.FlowID, pkt.Size, q, t, dropCause(d.port.LastDropCause()))
 		return false
 	}
 	d.arrivals[q] = append(d.arrivals[q], t)
+	if f := d.tele.Flight(); f != nil {
+		d.recs[q] = append(d.recs[q], f.Arrive(pkt.FlowID, pkt.Size, q, t))
+	}
 	return true
+}
+
+// dropCause maps the port's drop error to the flight recorder's short
+// cause label, matching the port's own per-cause counters.
+func dropCause(err error) string {
+	switch {
+	case err == nil:
+		return "unknown"
+	case errors.Is(err, dpdk.ErrRingFull):
+		return "ring"
+	case errors.Is(err, dpdk.ErrPoolExhausted):
+		return "pool"
+	case errors.Is(err, dpdk.ErrFrameCorrupt):
+		return "corrupt"
+	case errors.Is(err, dpdk.ErrFrameDropped):
+		return "wire"
+	default:
+		return "unknown"
+	}
 }
 
 // advanceTo processes, on every queue, all packets whose service would
@@ -170,19 +226,30 @@ func (d *DuT) advanceQueue(q int, t float64) {
 		for _, mb := range ms {
 			arr := d.arrivals[q][0]
 			d.arrivals[q] = d.arrivals[q][1:]
+			var rec *telemetry.PacketRecord
+			if len(d.recs[q]) > 0 {
+				rec = d.recs[q][0]
+				d.recs[q] = d.recs[q][1:]
+			}
 
 			before := core.Cycles()
 			// Driver touches the descriptor and mbuf metadata...
 			core.Read(mb.BaseVA())
 			core.Read(mb.BaseVA() + 64)
 			// ...then the chain runs to completion...
-			d.chain.Process(core, mb)
+			if rec != nil && rec.Sampled {
+				d.nfSpans = d.nfSpans[:0]
+				d.chain.ProcessTraced(core, mb, &d.nfSpans)
+			} else {
+				d.chain.Process(core, mb)
+			}
 			// ...plus the fixed per-packet driver/PCIe/NIC overhead.
 			core.AddCycles(d.overhead)
+			scale := d.faults.ServiceScale(q)
 			serviceNs := float64(core.Cycles()-before) / d.freq * 1e9
 			// Co-runner interference / frequency throttling stretches the
 			// wall-clock service time without changing cache behaviour.
-			serviceNs *= d.faults.ServiceScale(q)
+			serviceNs *= scale
 
 			begin := d.coreFree[q]
 			if arr > begin {
@@ -192,8 +259,34 @@ func (d *DuT) advanceQueue(q int, t float64) {
 			d.latencies = append(d.latencies, d.coreFree[q]-arr)
 			d.processed++
 			d.port.TxBurst(q, []*dpdk.Mbuf{mb})
+			if rec != nil {
+				d.finishRecord(rec, q, before, begin, scale)
+			}
+			d.histResd.Observe(q, d.coreFree[q]-arr)
+			d.histSvc.Observe(q, serviceNs)
+			d.ctrDone.Inc(q)
 		}
 	}
+}
+
+// finishRecord closes a packet's flight record: cycle-denominated NF
+// spans are rebased onto the simulated clock (service began at beginNs,
+// one cycle is 1/freq seconds, stretched by the injected scale).
+func (d *DuT) finishRecord(rec *telemetry.PacketRecord, q int, beforeCycles uint64, beginNs, scale float64) {
+	perNs := 1e9 / d.freq * scale
+	var spans []telemetry.Span
+	if rec.Sampled && len(d.nfSpans) > 0 {
+		spans = make([]telemetry.Span, len(d.nfSpans))
+		for i, cs := range d.nfSpans {
+			spans[i] = telemetry.Span{
+				Stage:   telemetry.StageNF,
+				Name:    "nf:" + cs.Name,
+				StartNs: beginNs + float64(cs.Start-beforeCycles)*perNs,
+				EndNs:   beginNs + float64(cs.End-beforeCycles)*perNs,
+			}
+		}
+	}
+	d.tele.Flight().Complete(rec, beginNs, d.coreFree[q], scale, spans)
 }
 
 // Drain processes every queued packet and returns the time the last one
@@ -206,8 +299,13 @@ func (d *DuT) Drain() float64 {
 			end = f
 		}
 	}
+	d.tele.SetNow(end)
+	d.tele.Timeline().Sample(end)
 	return end
 }
+
+// Telemetry returns the DuT's collector (nil when uninstrumented).
+func (d *DuT) Telemetry() *telemetry.Collector { return d.tele }
 
 // Latencies returns per-packet DuT residency in ns (queueing + service),
 // i.e. end-to-end latency without the loopback component.
@@ -227,6 +325,7 @@ func (d *DuT) Reset() {
 	for q := range d.coreFree {
 		d.coreFree[q] = 0
 		d.arrivals[q] = d.arrivals[q][:0]
+		d.recs[q] = d.recs[q][:0]
 	}
 }
 

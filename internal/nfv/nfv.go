@@ -94,3 +94,26 @@ func (c *Chain) Process(core *cpusim.Core, mb *dpdk.Mbuf) bool {
 	}
 	return true
 }
+
+// CycleSpan bounds one NF's service for a packet in core cycles. The
+// caller (netsim) converts cycles to simulated time; keeping this in
+// cycles keeps nfv free of any telemetry dependency.
+type CycleSpan struct {
+	Name       string
+	Start, End uint64
+}
+
+// ProcessTraced is Process with per-NF cycle spans appended to *spans —
+// used by the flight recorder for sampled packets. The cycle charges are
+// identical to Process: reading core.Cycles() is free.
+func (c *Chain) ProcessTraced(core *cpusim.Core, mb *dpdk.Mbuf, spans *[]CycleSpan) bool {
+	for _, nf := range c.nfs {
+		start := core.Cycles()
+		ok := nf.Process(core, mb)
+		*spans = append(*spans, CycleSpan{Name: nf.Name(), Start: start, End: core.Cycles()})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

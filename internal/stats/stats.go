@@ -23,6 +23,12 @@ func Percentile(xs []float64, p float64) float64 {
 }
 
 func percentileSorted(s []float64, p float64) float64 {
+	// Guard empty input here too, not just in the exported wrappers: for
+	// 0 < p < 100 the interpolation below would compute pos = -p/100 and
+	// index s[-1].
+	if len(s) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return s[0]
 	}

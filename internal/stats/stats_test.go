@@ -238,3 +238,44 @@ func TestFitPiecewise(t *testing.T) {
 		t.Error("insufficient data accepted")
 	}
 }
+
+// Regression: percentileSorted used to index s[-1] for 0 < p < 100 on an
+// empty slice (pos = p/100 * -1 rounds down to -1). Every entry point must
+// return NaN on empty input instead of panicking.
+func TestEmptyInputReturnsNaN(t *testing.T) {
+	for _, p := range []float64{-5, 0, 0.1, 50, 99.9, 100, 200} {
+		if got := Percentile(nil, p); !math.IsNaN(got) {
+			t.Errorf("Percentile(nil, %v) = %v, want NaN", p, got)
+		}
+		if got := percentileSorted(nil, p); !math.IsNaN(got) {
+			t.Errorf("percentileSorted(nil, %v) = %v, want NaN", p, got)
+		}
+		if got := percentileSorted([]float64{}, p); !math.IsNaN(got) {
+			t.Errorf("percentileSorted([], %v) = %v, want NaN", p, got)
+		}
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", s.N)
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean, "P50": s.P50, "P75": s.P75, "P90": s.P90,
+		"P95": s.P95, "P99": s.P99, "Min": s.Min, "Max": s.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("Summarize(nil).%s = %v, want NaN", name, v)
+		}
+	}
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %v, want NaN", got)
+	}
+	if got := Variance(nil); !math.IsNaN(got) {
+		t.Errorf("Variance(nil) = %v, want NaN", got)
+	}
+	if got := Skewness(nil); !math.IsNaN(got) {
+		t.Errorf("Skewness(nil) = %v, want NaN", got)
+	}
+	if got := CDF(nil, 8); got != nil {
+		t.Errorf("CDF(nil) = %v, want nil", got)
+	}
+}

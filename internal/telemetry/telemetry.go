@@ -1,0 +1,179 @@
+// Package telemetry is the unified observability layer of the
+// reproduction: a low-overhead metrics registry (per-core-sharded
+// counters, gauges and mergeable fixed-bucket histograms), a sampled
+// per-packet flight recorder (stage spans on the simulated clock plus a
+// ring that always retains the last K packets and every dropped or
+// fault-injected one), and a per-slice LLC heat timeline fed by the same
+// uncore counters the paper's §2.1 methodology polls.
+//
+// Everything hangs off a *Collector. A nil Collector — and every handle it
+// hands out — is inert: the disabled hot path pays one nil check per
+// touch, allocates nothing, and provably cannot perturb the simulation
+// (telemetry reads the simulated machine but never charges cycles, draws
+// randomness, or reorders work).
+//
+// Exports: Prometheus text exposition (Registry.WritePrometheus),
+// combined JSON (Collector.WriteJSON), and chrome://tracing-loadable
+// span JSON (Collector.WriteChromeTrace).
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"sliceaware/internal/llc"
+)
+
+func writeJSONIndent(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Config sizes a Collector. Zero values take the documented defaults.
+type Config struct {
+	// Shards is the per-core shard count for hot-path metrics (one per
+	// polling core; default 1).
+	Shards int
+	// SampleEvery records full stage spans for every N-th packet
+	// (default 64; 1 samples every packet).
+	SampleEvery int
+	// RingSize is how many most-recent packets the flight recorder
+	// retains (default 1024).
+	RingSize int
+	// MaxDrops caps the retained dropped/fault-injected records
+	// (default 65536).
+	MaxDrops int
+	// TimelineIntervalNs is the heat-sampling period in simulated ns
+	// (default 10 µs).
+	TimelineIntervalNs float64
+	// TimelineMaxSamples bounds the series before pairwise decimation
+	// doubles the interval (default 4096).
+	TimelineMaxSamples int
+}
+
+// Collector bundles the three telemetry surfaces and the simulated clock
+// they share.
+type Collector struct {
+	reg      *Registry
+	flight   *FlightRecorder
+	timeline *Timeline
+	nowNs    float64
+}
+
+// New builds an armed Collector.
+func New(cfg Config) *Collector {
+	sample := cfg.SampleEvery
+	if sample == 0 {
+		sample = 64
+	}
+	return &Collector{
+		reg:      NewRegistry(cfg.Shards),
+		flight:   NewFlightRecorder(cfg.RingSize, sample, cfg.MaxDrops),
+		timeline: NewTimeline(cfg.TimelineIntervalNs, cfg.TimelineMaxSamples),
+	}
+}
+
+// Registry returns the metrics registry (nil for a nil collector).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Flight returns the flight recorder (nil for a nil collector).
+func (c *Collector) Flight() *FlightRecorder {
+	if c == nil {
+		return nil
+	}
+	return c.flight
+}
+
+// Timeline returns the heat timeline (nil for a nil collector).
+func (c *Collector) Timeline() *Timeline {
+	if c == nil {
+		return nil
+	}
+	return c.timeline
+}
+
+// SetNow advances the collector's view of the simulated clock; hooks that
+// fire without a timestamp of their own (watchdog transitions deep in the
+// driver path) are stamped with this.
+func (c *Collector) SetNow(ns float64) {
+	if c == nil {
+		return
+	}
+	c.nowNs = ns
+}
+
+// Now reads the simulated clock (0 for a nil collector).
+func (c *Collector) Now() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.nowNs
+}
+
+// Event annotates the timeline at the current simulated time.
+func (c *Collector) Event(name string) {
+	if c == nil {
+		return
+	}
+	c.timeline.Event(c.nowNs, name)
+}
+
+// BindLLC points the heat timeline at a machine's LLC counters.
+func (c *Collector) BindLLC(l *llc.SlicedLLC) {
+	if c == nil {
+		return
+	}
+	c.timeline.Bind(l)
+}
+
+// WriteChromeTrace renders the flight recorder plus timeline annotations
+// as a chrome://tracing-loadable trace.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return c.flight.WriteChromeTrace(w, c.timeline.Events())
+}
+
+// WriteJSON renders one combined JSON document: metrics, the flight
+// recorder's retained records, and the heat timeline.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	doc := struct {
+		Metrics  registryJSON `json:"metrics"`
+		Flight   flightJSON   `json:"flight"`
+		Timeline timelineJSON `json:"timeline"`
+	}{
+		Metrics:  c.reg.snapshotJSON(),
+		Timeline: c.timeline.snapshotJSON(),
+	}
+	doc.Flight = flightJSON{
+		Seq:       c.flight.Seq(),
+		Records:   c.flight.Records(),
+		Drops:     c.flight.Drops(),
+		DropsLost: c.flight.DropsLost(),
+	}
+	if doc.Flight.Records == nil {
+		doc.Flight.Records = []*PacketRecord{}
+	}
+	if doc.Flight.Drops == nil {
+		doc.Flight.Drops = []*PacketRecord{}
+	}
+	return writeJSONIndent(w, doc)
+}
+
+// flightJSON is the flight recorder's JSON export shape.
+type flightJSON struct {
+	Seq       uint64          `json:"packets_observed"`
+	Records   []*PacketRecord `json:"ring"`
+	Drops     []*PacketRecord `json:"drops"`
+	DropsLost uint64          `json:"drops_lost"`
+}

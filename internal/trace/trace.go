@@ -30,6 +30,12 @@ type Packet struct {
 
 	// Timestamp carries the LoadGen send time in simulated nanoseconds —
 	// the "timestamp in the payload" of the black-box method (§5).
+	//
+	// Contract: generators leave it zero. The netsim LoadGen stamps it at
+	// wire arrival (DuT.Arrive's clock), and everything downstream —
+	// latency accounting and the telemetry flight recorder's wire_arrival
+	// span — reads that single stamp. A generator that pre-filled it
+	// would be silently overwritten.
 	Timestamp float64
 }
 

@@ -100,6 +100,15 @@ func pick(ev llc.CBoEvents, e Event) uint64 {
 // ArgMax returns the index of the largest delta and whether it dominates
 // (strictly exceeds every other count by the given factor). Polling-based
 // slice identification requires a dominant winner to be trustworthy.
+//
+// Contract, as the table-driven tests pin down:
+//   - empty input → (-1, false); all-zero deltas → (first index, false):
+//     no signal is never a confident answer.
+//   - An exact tie at the top never dominates for any dominance ≥ 1 —
+//     the comparison is against second+1, so equal counts always fail.
+//     (A dominance factor < 1 waives that guarantee; callers poll with
+//     factors ≥ 1, typically 2.0.)
+//   - A single slice with any non-zero count dominates trivially.
 func ArgMax(deltas []uint64, dominance float64) (idx int, ok bool) {
 	if len(deltas) == 0 {
 		return -1, false

@@ -116,3 +116,40 @@ func TestArgMax(t *testing.T) {
 		t.Errorf("10-vs-4 at 2.0 dominance = %d,%v, want 0,true", idx, ok)
 	}
 }
+
+// TestArgMaxEdgeCases pins the intended contract at its corners — most
+// importantly that an exact tie at the top is never a dominant winner
+// (the comparison is against second+1), since the polling methodology
+// must not confidently pick between two equally-hot slices.
+func TestArgMaxEdgeCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		deltas    []uint64
+		dominance float64
+		wantIdx   int
+		wantOK    bool
+	}{
+		{"exact tie at top, dominance 2", []uint64{7, 7, 1}, 2.0, 0, false},
+		{"exact tie at top, dominance 1", []uint64{7, 7, 1}, 1.0, 0, false},
+		{"three-way tie", []uint64{5, 5, 5}, 2.0, 0, false},
+		{"tie not at front", []uint64{1, 9, 9}, 2.0, 1, false},
+		{"single slice, non-zero", []uint64{3}, 2.0, 0, true},
+		{"single slice, zero", []uint64{0}, 2.0, 0, false},
+		{"all zero", []uint64{0, 0, 0, 0}, 2.0, 0, false},
+		{"empty", nil, 2.0, -1, false},
+		{"clear winner", []uint64{100, 3, 2}, 2.0, 0, true},
+		{"winner short of factor", []uint64{100, 60}, 2.0, 0, false},
+		{"dominance exactly met", []uint64{20, 9}, 2.0, 0, true},
+		// A dominance factor ≤ 1 waives the tie guarantee: equal counts
+		// pass the second+1 test once the factor shrinks the bar enough.
+		{"tie with dominance 0.5", []uint64{8, 8}, 0.5, 0, true},
+		{"dominance 1, winner by one", []uint64{10, 9}, 1.0, 0, true},
+	}
+	for _, tc := range tests {
+		idx, ok := ArgMax(tc.deltas, tc.dominance)
+		if idx != tc.wantIdx || ok != tc.wantOK {
+			t.Errorf("%s: ArgMax(%v, %v) = (%d, %v), want (%d, %v)",
+				tc.name, tc.deltas, tc.dominance, idx, ok, tc.wantIdx, tc.wantOK)
+		}
+	}
+}
