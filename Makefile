@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet lint bench ci
 
 all: build test
 
@@ -15,6 +15,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck when it is installed (CI installs it; locally the
+# target degrades to vet alone rather than failing).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # One iteration of every benchmark — a smoke pass that keeps the harnesses
 # compiling and running, not a measurement.

@@ -16,6 +16,14 @@
 //	         -fault-slowdown 2 -fault-seed 7
 //	nfvbench -cachedirector -mispredict 1 -watchdog
 //
+// Overload control: -overload arms the AQM (-aqm codel|red|none) on every
+// RX ring plus priority-aware shedding at admission; with -cachedirector it
+// also wires the backpressure signal into the degradation ladder. -queues
+// sizes the port (fewer queues saturate sooner, useful for overload
+// studies):
+//
+//	nfvbench -cachedirector -overload -queues 2 -gbps 60
+//
 // Telemetry: -metrics-out dumps the metrics registry (Prometheus text,
 // or combined JSON when the path ends in .json), -trace-out writes the
 // packet flight recorder as a chrome://tracing-loadable trace,
@@ -41,6 +49,7 @@ import (
 	"sliceaware/internal/faults"
 	"sliceaware/internal/netsim"
 	"sliceaware/internal/nfv"
+	"sliceaware/internal/overload"
 	"sliceaware/internal/stats"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
@@ -53,6 +62,9 @@ func main() {
 	pps := flag.Float64("pps", 0, "offered load in packets/s (overrides -gbps)")
 	packets := flag.Int("packets", 20000, "packets per run")
 	withCD := flag.Bool("cachedirector", false, "attach CacheDirector")
+	queues := flag.Int("queues", 8, "RX/TX queue pairs on the port")
+	overloadFlag := flag.Bool("overload", false, "arm overload control: AQM on RX rings + priority shedding (+ degradation ladder with -cachedirector)")
+	aqmFlag := flag.String("aqm", "codel", "AQM policy with -overload: codel, red, or none")
 	runs := flag.Int("runs", 3, "back-to-back runs (latencies pooled)")
 	pktSize := flag.Int("size", 0, "fixed frame size; 0 = campus mix")
 	faultDrop := flag.Float64("fault-drop", 0, "wire-loss probability per frame")
@@ -81,7 +93,7 @@ func main() {
 	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
 	check(err)
 	port, err := dpdk.NewPort(m, dpdk.PortConfig{
-		Queues: 8, RingSize: 1024, PoolMbufs: 4096,
+		Queues: *queues, RingSize: 1024, PoolMbufs: 4096,
 		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: steering,
 	})
 	check(err)
@@ -102,6 +114,33 @@ func main() {
 	} else if *mispredict > 0 || *watchdog {
 		fmt.Fprintln(os.Stderr, "nfvbench: -mispredict/-watchdog need -cachedirector")
 		os.Exit(2)
+	}
+
+	var ovCfg *netsim.OverloadConfig
+	if *overloadFlag {
+		ovCfg = &netsim.OverloadConfig{Shed: &overload.ShedConfig{}}
+		switch *aqmFlag {
+		case "codel":
+			ovCfg.AQM = func(int) overload.AQM {
+				a, err := overload.NewCoDel(overload.CoDelConfig{})
+				check(err)
+				return a
+			}
+		case "red":
+			ovCfg.AQM = func(q int) overload.AQM {
+				a, err := overload.NewRED(overload.REDConfig{Seed: *faultSeed + int64(q)})
+				check(err)
+				return a
+			}
+		case "none":
+		default:
+			fmt.Fprintf(os.Stderr, "nfvbench: unknown AQM %q (want codel, red, or none)\n", *aqmFlag)
+			os.Exit(2)
+		}
+		if director != nil {
+			check(director.EnableLadder(overload.LadderConfig{}))
+			ovCfg.Pressure = director.ObservePressure
+		}
 	}
 
 	var plan faults.Plan
@@ -159,12 +198,13 @@ func main() {
 		}
 	}
 
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector, Telemetry: collector})
+	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector, Telemetry: collector, Overload: ovCfg})
 	check(err)
 
 	var lat []float64
 	var achieved []float64
-	var dropped uint64
+	var dropped, shed uint64
+	var shedByClass []uint64
 	var drops dpdk.PortStats
 	for r := 0; r < *runs; r++ {
 		var gen trace.Generator
@@ -185,10 +225,20 @@ func main() {
 		lat = append(lat, out.LatenciesNs...)
 		achieved = append(achieved, out.AchievedGbps)
 		dropped += out.Dropped
+		shed += out.Shed
+		if len(out.ShedByClass) > 0 {
+			if shedByClass == nil {
+				shedByClass = make([]uint64, len(out.ShedByClass))
+			}
+			for c, n := range out.ShedByClass {
+				shedByClass[c] += n
+			}
+		}
 		drops.RxDropRing += out.DropBreakdown.RxDropRing
 		drops.RxDropPool += out.DropBreakdown.RxDropPool
 		drops.RxDropWire += out.DropBreakdown.RxDropWire
 		drops.RxDropCorrupt += out.DropBreakdown.RxDropCorrupt
+		drops.RxDropAQM += out.DropBreakdown.RxDropAQM
 		dut.Reset()
 		dut.Port().ResetStats()
 	}
@@ -209,6 +259,15 @@ func main() {
 			c.Total(), c.NICDrops, c.NICCorrupts, c.RingOverflows, c.MempoolFails, c.SlowedPackets, c.TruncatedBursts)
 		fmt.Printf("  drop breakdown: ring %d, pool %d, wire %d, corrupt %d\n",
 			drops.RxDropRing, drops.RxDropPool, drops.RxDropWire, drops.RxDropCorrupt)
+	}
+	if *overloadFlag {
+		fmt.Printf("  overload: shed %d (by class, low→high: %v), aqm early drops %d, ring drops %d\n",
+			shed, shedByClass, drops.RxDropAQM, drops.RxDropRing)
+		if director != nil {
+			ls := director.Ladder().Stats()
+			fmt.Printf("  degradation ladder: level=%s escalations=%d recoveries=%d\n",
+				director.CurrentLevel(), ls.Escalations, ls.Recoveries)
+		}
 	}
 	if director != nil && *watchdog {
 		ws := director.WatchdogStats()

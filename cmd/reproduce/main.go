@@ -15,7 +15,8 @@
 // Paper artifacts: T1 F4 F5 F6 F7 F8 HR F12 F13 F14 T3 F15 F16 T4 F17
 // (T3 is derived from F13+F14 and runs them if not already selected).
 // Ablations/extensions (with -all or by ID): A-DDIO A-PLACE A-STEER
-// A-MULTI A-PF S6 S8V S8M S9C F-FAULTS.
+// A-MULTI A-PF S6 S8V S8M S9C F-FAULTS F-OVERLOAD (the overload sweep
+// also prints the F-OVERLOAD/B migration circuit-breaker table).
 //
 // -seed fixes the run-wide seed every experiment derives its randomness
 // from: two invocations with the same seed and selection print identical
@@ -210,6 +211,14 @@ func main() {
 	showExt("S8S", func() (*experiments.Table, error) { _, t, err := experiments.SharedDataPlacement(scale); return t, err })
 	showExt("S4V", func() (*experiments.Table, error) { _, t, err := experiments.OffsetTarget(scale); return t, err })
 	showExt("F-FAULTS", func() (*experiments.Table, error) { _, t, err := experiments.FigFaults(scale); return t, err })
+	showExt("F-OVERLOAD", func() (*experiments.Table, error) {
+		_, t, err := experiments.FigOverload(scale)
+		if err != nil {
+			return nil, err
+		}
+		t.Fprint(os.Stdout)
+		return experiments.OverloadBreakerStorm(scale)
+	})
 
 	os.Exit(exit)
 }

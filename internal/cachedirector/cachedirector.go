@@ -25,6 +25,7 @@ import (
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/interconnect"
+	"sliceaware/internal/overload"
 	"sliceaware/internal/telemetry"
 )
 
@@ -90,6 +91,11 @@ type Director struct {
 
 	// wd is the optional placement watchdog (nil until EnableWatchdog).
 	wd *watchdog
+	// ladder is the optional degradation controller (nil until
+	// EnableLadder); probeBreaker optionally gates watchdog probes (nil
+	// until EnableProbeBreaker).
+	ladder       *overload.Ladder
+	probeBreaker *overload.Breaker
 
 	// tele surfaces placement decisions and watchdog transitions; nil
 	// handles make every update a no-op.
@@ -116,6 +122,8 @@ func (d *Director) SetTelemetry(c *telemetry.Collector) {
 	if reg != nil {
 		reg.GaugeFunc("cachedirector_mode", "Director operating state (0=active, 1=degraded)", "",
 			func() float64 { return float64(d.Mode()) })
+		reg.GaugeFunc("cachedirector_level", "Effective placement level (0=full, 1=header-only, 2=passthrough)", "",
+			func() float64 { return float64(d.CurrentLevel()) })
 	}
 }
 
@@ -228,31 +236,52 @@ func (d *Director) findHeadroom(pool *dpdk.Mempool, m *dpdk.Mbuf, slice, budgetL
 
 // Prepare is the driver hook (dpdk.MbufPrepareFunc): set the mbuf's actual
 // headroom for the core that will consume queue q's packets, and charge
-// the (tiny) per-packet driver cost to that core. While the watchdog holds
-// the director in ModeDegraded, the pre-computed table is bypassed and the
-// mbuf keeps plain DPDK's default placement.
+// the (tiny) per-packet driver cost to that core. The effective placement
+// level (CurrentLevel) decides how much of the slice-aware machinery runs:
+// full applies the table and the driver charge, header-only keeps the
+// table but switches in the app-sorted fast path, passthrough bypasses the
+// table entirely (the watchdog's legacy degraded placement).
 func (d *Director) Prepare(m *dpdk.Mbuf, queue int) {
 	lines := int(m.Udata64 >> uint(queue*4) & 0xF)
 	d.ctrPrepared.Inc(queue)
-	if d.wd != nil && d.wd.mode == ModeDegraded {
+	switch d.CurrentLevel() {
+	case LevelPassthrough:
 		d.ctrBypassed.Inc(queue)
 		hr := dpdk.DefaultHeadroom
 		if hr > m.HeadroomCapacity() {
 			hr = m.HeadroomCapacity()
 		}
 		_ = m.SetHeadroom(hr)
-	} else if err := m.SetHeadroom(lines * 64); err != nil {
-		// Pre-computed values are always within capacity; reaching this
-		// indicates corrupted udata64, so fall back to zero headroom.
-		_ = m.SetHeadroom(0)
-	}
-	if !d.cfg.AppSorted {
-		d.machine.Core(queue).AddCycles(PrepareCycles)
+		// Without a ladder the legacy degraded path still pays the driver
+		// charge (the table read happens before the mode check); with one,
+		// passthrough is the cheapest rung and pays nothing.
+		if d.ladder == nil && !d.cfg.AppSorted {
+			d.machine.Core(queue).AddCycles(PrepareCycles)
+		}
+	case LevelHeaderOnly:
+		if err := m.SetHeadroom(lines * 64); err != nil {
+			_ = m.SetHeadroom(0)
+		}
+	default: // LevelFull
+		if err := m.SetHeadroom(lines * 64); err != nil {
+			// Pre-computed values are always within capacity; reaching this
+			// indicates corrupted udata64, so fall back to zero headroom.
+			_ = m.SetHeadroom(0)
+		}
+		if !d.cfg.AppSorted {
+			d.machine.Core(queue).AddCycles(PrepareCycles)
+		}
 	}
 	if d.wd != nil && d.wd.due() {
 		// Probe the placement the table intended, even while degraded:
 		// recovery needs evidence that the believed mapping works again.
-		d.probePlacement(m, queue, lines)
+		// An open probe breaker skips the probe (and its flush+load cost)
+		// until the cooldown admits half-open trials.
+		if err := d.probeBreaker.Allow(float64(d.wd.prepared)); err != nil {
+			d.wd.stats.BreakerSkips++
+		} else {
+			d.probePlacement(m, queue, lines)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/faults"
+	"sliceaware/internal/overload"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 )
@@ -54,6 +55,7 @@ type PortStats struct {
 	RxDropPool    uint64 // mempool could not supply an mbuf
 	RxDropWire    uint64 // injected wire loss before the NIC
 	RxDropCorrupt uint64 // FCS/CRC rejection at RX
+	RxDropAQM     uint64 // active queue management early drop
 }
 
 // Port is one NIC port bound to the userspace driver: per-queue mempools
@@ -68,6 +70,7 @@ type Port struct {
 	tx    []*Ring
 
 	prepare MbufPrepareFunc
+	aqm     []overload.AQM // per-queue RX admission; nil slice = tail-drop only
 
 	fdirTable map[uint64]int // FlowDirector: flowID → queue
 	fdirNext  int
@@ -88,6 +91,7 @@ type portMetrics struct {
 	segments              *telemetry.Counter
 	dropRing, dropPool    *telemetry.Counter
 	dropWire, dropCorrupt *telemetry.Counter
+	dropAQM               *telemetry.Counter
 }
 
 // SetTelemetry instruments the port: hot-path traffic/drop counters
@@ -105,6 +109,7 @@ func (p *Port) SetTelemetry(c *telemetry.Collector) {
 		dropPool:    reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="pool"`),
 		dropWire:    reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="wire"`),
 		dropCorrupt: reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="corrupt"`),
+		dropAQM:     reg.CounterL("dpdk_port_rx_dropped_total", "RX losses by cause", `cause="aqm"`),
 	}
 	if reg == nil {
 		return
@@ -187,6 +192,40 @@ func (p *Port) Steering() Steering { return p.steering }
 // SetMbufPrepare installs the driver hook (CacheDirector's entry point).
 func (p *Port) SetMbufPrepare(f MbufPrepareFunc) { p.prepare = f }
 
+// SetAQM installs an active-queue-management discipline per RX queue: f
+// is called once for each queue and must return a fresh AQM instance (the
+// disciplines hold per-queue state). A nil f disarms AQM and restores
+// blind tail-drop. Deliver consults the discipline after steering and
+// before buffer allocation, so an early drop spends no mempool slot and
+// triggers no DDIO fill.
+func (p *Port) SetAQM(f func(queue int) overload.AQM) {
+	if f == nil {
+		p.aqm = nil
+		return
+	}
+	p.aqm = make([]overload.AQM, p.queues)
+	for q := range p.aqm {
+		p.aqm[q] = f(q)
+	}
+}
+
+// QueueAQM reports queue q's installed discipline (nil when disarmed),
+// for stats readout.
+func (p *Port) QueueAQM(q int) overload.AQM {
+	if p.aqm == nil {
+		return nil
+	}
+	return p.aqm[q]
+}
+
+// ResetAQM clears every discipline's clock-anchored state, for runs that
+// restart the simulated clock at zero (DuT.Reset calls this).
+func (p *Port) ResetAQM() {
+	for _, a := range p.aqm {
+		a.Reset()
+	}
+}
+
 // SetFaultInjector arms the port's RX path (wire drop, corruption, ring
 // overflow, burst truncation) and every queue's mempool against the
 // injector's plan. A nil injector disarms everything.
@@ -206,8 +245,13 @@ func (p *Port) LastDropCause() error { return p.lastDrop }
 // Stats returns a copy of the port counters.
 func (p *Port) Stats() PortStats { return p.stats }
 
-// ResetStats zeroes the port counters.
-func (p *Port) ResetStats() { p.stats = PortStats{} }
+// ResetStats zeroes the port counters and the last-drop cause: after a
+// reset the port reads as never having dropped, so a stale cause from a
+// previous run can't leak into fresh accounting.
+func (p *Port) ResetStats() {
+	p.stats = PortStats{}
+	p.lastDrop = nil
+}
 
 // SteerQueue computes the RX queue for a packet without delivering it.
 func (p *Port) SteerQueue(pkt trace.Packet) int {
@@ -253,6 +297,24 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		return -1, false
 	}
 	q := p.SteerQueue(pkt)
+
+	// AQM admission runs after steering and before buffer allocation: an
+	// early drop costs no mempool slot and pollutes no LLC line with DDIO
+	// fill (contrast tail-drop below, which discovers the full ring only
+	// after both were spent).
+	if p.aqm != nil {
+		ring := p.rx[q]
+		sojourn := 0.0
+		if head := ring.Peek(); head != nil {
+			if s := pkt.Timestamp - head.Pkt.Timestamp; s > 0 {
+				sojourn = s
+			}
+		}
+		if err := p.aqm[q].Admit(pkt.Timestamp, ring.Len(), ring.Capacity(), sojourn); err != nil {
+			p.drop(&p.stats.RxDropAQM, err, p.tm.dropAQM, q)
+			return q, false
+		}
+	}
 	pool := p.pools[q]
 
 	head := pool.Get()
@@ -335,6 +397,9 @@ func (p *Port) RxBurst(q, max int) []*Mbuf {
 
 // RxQueueLen reports the RX ring occupancy of queue q.
 func (p *Port) RxQueueLen(q int) int { return p.rx[q].Len() }
+
+// RxRingCap reports the RX ring capacity of queue q.
+func (p *Port) RxRingCap(q int) int { return p.rx[q].Capacity() }
 
 // TxBurst transmits a batch on queue q: bytes are counted and the mbufs
 // return to their pool (the simulated wire has no further use for them).

@@ -54,6 +54,16 @@ func (r *Ring) EnqueueBurst(ms []*Mbuf) int {
 	return len(ms)
 }
 
+// Peek returns the head-of-line mbuf without removing it; nil when empty.
+// The RX AQM uses it to estimate head sojourn time from the head packet's
+// arrival timestamp.
+func (r *Ring) Peek() *Mbuf {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
 // Dequeue removes one mbuf; nil when empty.
 func (r *Ring) Dequeue() *Mbuf {
 	if r.n == 0 {

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cachedirector"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+	"sliceaware/internal/faults"
+	"sliceaware/internal/kvs"
+	"sliceaware/internal/netsim"
+	"sliceaware/internal/nfv"
+	"sliceaware/internal/overload"
+	"sliceaware/internal/stats"
+	"sliceaware/internal/trace"
+	"sliceaware/internal/zipf"
+)
+
+// FigOverloadPoint is one configuration of the overload-control sweep:
+// forwarding on a deliberately small (2-queue) DuT with offered load swept
+// past its saturation point.
+type FigOverloadPoint struct {
+	Label        string
+	LoadFactor   float64 // offered load as a multiple of measured capacity
+	OfferedGbps  float64
+	AchievedGbps float64
+	P99Us        float64 // steady-state (second-half) p99 residency
+	DroppedPct   float64 // NIC-level losses (ring tail-drop + AQM early drops)
+	AQMPct       float64 // the AQM-early-drop share of offered load
+	ShedPct      float64 // priority-shed share of offered load
+	ShedRates    []float64
+	Level        cachedirector.Level
+	LadderStats  overload.LadderStats
+}
+
+// overloadCase describes one row of the sweep.
+type overloadCase struct {
+	label      string
+	factor     float64
+	sliceAware bool
+	aqm        string // "" (tail-drop), "codel" or "red"
+	shed       bool
+}
+
+// buildOverloadCase assembles a 2-queue forwarding DuT (small on purpose:
+// it saturates near 19 Gbps on the campus mix, so modest offered rates
+// reach deep overload) for one sweep configuration.
+func buildOverloadCase(c overloadCase, redSeed int64) (*netsim.DuT, *cachedirector.Director, error) {
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		return nil, nil, err
+	}
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 2, RingSize: 256, PoolMbufs: 1024,
+		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: dpdk.RSS,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var dir *cachedirector.Director
+	if c.sliceAware {
+		dir, err = cachedirector.New(m, cachedirector.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := dir.Attach(port); err != nil {
+			return nil, nil, err
+		}
+		if collector != nil {
+			dir.SetTelemetry(collector)
+		}
+	}
+	var ov *netsim.OverloadConfig
+	if c.aqm != "" || c.shed {
+		ov = &netsim.OverloadConfig{}
+		switch c.aqm {
+		case "codel":
+			ov.AQM = func(int) overload.AQM {
+				a, err := overload.NewCoDel(overload.CoDelConfig{})
+				if err != nil {
+					panic(err) // defaults never fail
+				}
+				return a
+			}
+		case "red":
+			ov.AQM = func(q int) overload.AQM {
+				a, err := overload.NewRED(overload.REDConfig{Seed: redSeed + int64(q)})
+				if err != nil {
+					panic(err) // defaults never fail
+				}
+				return a
+			}
+		}
+		if c.shed {
+			ov.Shed = &overload.ShedConfig{}
+		}
+		// The backpressure signal drives the director's degradation ladder
+		// when slice-awareness is on.
+		if dir != nil {
+			if err := dir.EnableLadder(overload.LadderConfig{}); err != nil {
+				return nil, nil, err
+			}
+			ov.Pressure = dir.ObservePressure
+		}
+	}
+	chain, err := nfv.NewChain("fwd", nfv.NewForwarder())
+	if err != nil {
+		return nil, nil, err
+	}
+	dut, err := netsim.NewDuT(netsim.DuTConfig{
+		Machine: m, Port: port, Chain: chain, Overload: ov, Telemetry: collector,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return dut, dir, nil
+}
+
+// overloadPoint runs one configuration and folds the result into a point.
+func overloadPoint(c overloadCase, dut *netsim.DuT, dir *cachedirector.Director,
+	count int, offered float64, capacity float64) (FigOverloadPoint, error) {
+	gen, err := trace.NewCampusMix(rng(82), 4096)
+	if err != nil {
+		return FigOverloadPoint{}, err
+	}
+	res, err := netsim.RunRate(dut, gen, count, offered)
+	if err != nil {
+		return FigOverloadPoint{}, err
+	}
+	p := FigOverloadPoint{
+		Label:        c.label,
+		LoadFactor:   offered / capacity,
+		OfferedGbps:  offered,
+		AchievedGbps: res.AchievedGbps,
+		P99Us:        steadyP99Us(res.LatenciesNs),
+		DroppedPct:   float64(res.Dropped) / float64(res.OfferedPkts) * 100,
+		AQMPct:       float64(res.DropBreakdown.RxDropAQM) / float64(res.OfferedPkts) * 100,
+		ShedPct:      float64(res.Shed) / float64(res.OfferedPkts) * 100,
+	}
+	if sh := dut.Shedder(); sh != nil {
+		offeredC, shedC := sh.Stats()
+		for cl := range offeredC {
+			r := 0.0
+			if offeredC[cl] > 0 {
+				r = float64(shedC[cl]) / float64(offeredC[cl])
+			}
+			p.ShedRates = append(p.ShedRates, r)
+		}
+	}
+	if dir != nil {
+		p.Level = dir.CurrentLevel()
+		p.LadderStats = dir.Ladder().Stats()
+	}
+	return p, nil
+}
+
+// steadyP99Us is the steady-state p99 residency: the first half of the run
+// contains the AQM control-law ramp (the ring fills before the drop rate
+// catches up), so judging the whole run would charge the AQM for its own
+// warm-up.
+func steadyP99Us(ls []float64) float64 {
+	return stats.Percentile(ls[len(ls)/2:], 99) / 1000
+}
+
+// FigOverload sweeps offered load past the 2-queue DuT's saturation point
+// under three drop policies — blind tail-drop, CoDel+shedding, and
+// RED+shedding — and verifies the degradation story end to end: bounded
+// steady-state p99 under AQM, strictly ordered per-class shed rates, and
+// (in the recovery row) the ladder climbing back to full slice-aware mode
+// once load subsides.
+func FigOverload(scale Scale) ([]FigOverloadPoint, *Table, error) {
+	count := scale.pick(12000, 40000)
+	redSeed := rng(80).Int63()
+
+	// Calibrate the DuT's capacity: offer far beyond saturation and take
+	// the achieved rate as C.
+	calDut, _, err := buildOverloadCase(overloadCase{sliceAware: true}, redSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, err := trace.NewCampusMix(rng(81), 4096)
+	if err != nil {
+		return nil, nil, err
+	}
+	cal, err := netsim.RunRate(calDut, gen, count, netsim.NICCapGbps)
+	if err != nil {
+		return nil, nil, err
+	}
+	capacity := cal.AchievedGbps
+
+	// Class 0 carries 9/16 of the campus mix, so shedding it alone absorbs
+	// up to ~2.3x overload; the sweep reaches 3x so every class has to
+	// participate and the ordering across all four becomes visible. The
+	// AQM-only rows isolate the sojourn law's contribution (with shedding
+	// on, the shedder relieves the queue before CoDel has to act).
+	cases := []overloadCase{
+		{label: "tail-drop", factor: 0.8, sliceAware: true},
+		{label: "tail-drop", factor: 1.5, sliceAware: true},
+		{label: "tail-drop", factor: 3.0, sliceAware: true},
+		{label: "codel", factor: 1.5, sliceAware: true, aqm: "codel"},
+		{label: "codel", factor: 3.0, sliceAware: true, aqm: "codel"},
+		{label: "codel+shed", factor: 0.8, sliceAware: true, aqm: "codel", shed: true},
+		{label: "codel+shed", factor: 1.5, sliceAware: true, aqm: "codel", shed: true},
+		{label: "codel+shed", factor: 3.0, sliceAware: true, aqm: "codel", shed: true},
+		{label: "red+shed", factor: 1.5, sliceAware: true, aqm: "red", shed: true},
+		{label: "codel+shed, slice-oblivious", factor: 3.0, aqm: "codel", shed: true},
+	}
+
+	var out []FigOverloadPoint
+	for _, c := range cases {
+		dut, dir, err := buildOverloadCase(c, redSeed)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := overloadPoint(c, dut, dir, count, c.factor*capacity, capacity)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, p)
+
+		// The deepest AQM-only row doubles as the recovery study: it is the
+		// one that drives pressure high enough to escalate the ladder (the
+		// shedder, when armed, relieves the queue before pressure builds).
+		// Load then subsides to 0.4×C on the same DuT, and the ladder must
+		// walk back to full slice-aware placement.
+		if c.sliceAware && c.aqm == "codel" && !c.shed && c.factor == 3.0 {
+			dut.Reset()
+			rc := c
+			rc.label = "codel, recovery"
+			rp, err := overloadPoint(rc, dut, dir, count, 0.4*capacity, capacity)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, rp)
+		}
+	}
+
+	t := &Table{
+		ID:    "F-OVERLOAD",
+		Title: fmt.Sprintf("Overload control: AQM + priority shedding past saturation (2-queue fwd, capacity %.1f Gbps)", capacity),
+		Header: []string{
+			"Policy", "load", "offered (Gbps)", "achieved", "p99 (µs, steady)",
+			"dropped", "aqm", "shed", "shed by class (low→high)", "level",
+		},
+	}
+	for _, p := range out {
+		shedCol := "-"
+		if len(p.ShedRates) > 0 {
+			shedCol = ""
+			for i, r := range p.ShedRates {
+				if i > 0 {
+					shedCol += " "
+				}
+				shedCol += fmt.Sprintf("%.2f", r)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Label, fmt.Sprintf("%.1fx", p.LoadFactor), f1(p.OfferedGbps), f1(p.AchievedGbps),
+			f1(p.P99Us), fmt.Sprintf("%.1f%%", p.DroppedPct), fmt.Sprintf("%.1f%%", p.AQMPct),
+			fmt.Sprintf("%.1f%%", p.ShedPct), shedCol, p.Level.String(),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"tail-drop holds a standing queue at full ring residency; CoDel's sojourn law bounds steady-state p99 while keeping achieved throughput at capacity",
+		"at 3x the AQM-only control law is still ramping when the run ends (its inverse-sqrt drop rate chases a 3x flood), while shedding+AQM stays bounded — the policies are complementary",
+		"shed-by-class rates are strictly ordered: the lowest class absorbs the overload so the highest barely loses packets",
+		"sustained high pressure on the AQM-only rows walks the degradation ladder to passthrough; the recovery row re-offers 0.4x capacity on the same DuT and the ladder walks back to full slice-aware placement")
+	return out, t, nil
+}
+
+// OverloadBreakerStorm compares a hot-data migration pass under a
+// permanent contention storm with and without the circuit breaker: the
+// breaker trips within the first window of failures and fails the rest of
+// the pass fast, instead of burning every key's exponential-backoff budget
+// against a storm that will not clear. Once the storm lifts, a half-open
+// trial recloses the breaker and migration proceeds.
+func OverloadBreakerStorm(scale Scale) (*Table, error) {
+	requests := scale.pick(6000, 20000)
+	const topK = 128
+
+	row := func(withBreaker bool) ([]string, error) {
+		m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+		if err != nil {
+			return nil, err
+		}
+		store, err := kvs.New(m, kvs.Config{Keys: 1 << 12, ServingCore: 0, SliceAware: true, HotLines: 512})
+		if err != nil {
+			return nil, err
+		}
+		if collector != nil {
+			store.SetTelemetry(collector)
+		}
+		store.EnableHotTracking()
+		store.SetFaultInjector(faults.MustNewInjector(faults.Plan{
+			Seed:   rng(84).Int63(),
+			Events: []faults.Event{{Kind: faults.MigrationContention, Probability: 1}},
+		}))
+		var b *overload.Breaker
+		if withBreaker {
+			b, err = overload.NewBreaker(overload.BreakerConfig{
+				Window: 8, Cooldown: 200_000, HalfOpenProbes: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			store.SetBreaker(b)
+		}
+		g, err := zipf.NewZipf(rng(85), 1024, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := store.Run(kvs.Workload{GetRatio: 1, Keys: shiftGen{g, 2048}, Requests: requests}); err != nil {
+			return nil, err
+		}
+		// The storm pass: expected to fail (nothing migrates), the question
+		// is how much work failing costs.
+		storm, _ := store.MigrateTopK(topK)
+		// The storm lifts; served traffic runs the breaker's cooldown down.
+		store.SetFaultInjector(nil)
+		g2, err := zipf.NewZipf(rng(86), 1024, 0.99)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := store.Run(kvs.Workload{GetRatio: 1, Keys: shiftGen{g2, 2048}, Requests: requests}); err != nil {
+			return nil, err
+		}
+		after, err := store.MigrateTopK(topK)
+		if err != nil {
+			return nil, err
+		}
+		label := "bounded retries only"
+		if withBreaker {
+			label = "retries + circuit breaker"
+		}
+		bs := store.Breaker().Stats()
+		return []string{
+			label,
+			fmt.Sprintf("%d", storm.Retries),
+			fmt.Sprintf("%d", storm.Cycles),
+			fmt.Sprintf("%d", storm.Skipped),
+			fmt.Sprintf("%d", storm.BreakerSkips),
+			fmt.Sprintf("%d", bs.Trips),
+			fmt.Sprintf("%d", bs.Recoveries),
+			fmt.Sprintf("%d", after.Migrated),
+		}, nil
+	}
+
+	t := &Table{
+		ID:    "F-OVERLOAD/B",
+		Title: "Overload control: migration circuit breaker under a contention storm",
+		Header: []string{
+			"Policy", "storm retries", "backoff cycles", "skipped", "breaker skips",
+			"trips", "recoveries", "post-storm migrated",
+		},
+	}
+	for _, withBreaker := range []bool{false, true} {
+		r, err := row(withBreaker)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	t.Notes = append(t.Notes,
+		"without the breaker every candidate key burns its full exponential-backoff budget against the storm; with it the pass fails fast after one window of losses",
+		"after the storm a half-open trial recloses the breaker and the same pass migrates normally")
+	return t, nil
+}

@@ -197,3 +197,53 @@ func TestMispredictedHash(t *testing.T) {
 		}
 	}
 }
+
+// Single-opportunity windows pinned to the boundaries — the very first
+// opportunity [0,1) and the very last [N-1,N) — fire exactly once each,
+// no matter how many opportunities stream past in between.
+func TestWindowBoundariesFireExactlyOnce(t *testing.T) {
+	const ops = 4096
+	i := MustNewInjector(Plan{Seed: 11, Events: []Event{
+		{Kind: NICDrop, Probability: 1, From: 0, To: 1},
+		{Kind: NICDrop, Probability: 1, From: ops - 1, To: ops},
+	}})
+	var fired []uint64
+	for op := uint64(0); op < ops; op++ {
+		if i.Fire(NICDrop) {
+			fired = append(fired, op)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != ops-1 {
+		t.Fatalf("fired at %v, want [0 %d]", fired, uint64(ops-1))
+	}
+	if c := i.Counts(); c.NICDrops != 2 {
+		t.Errorf("NICDrops = %d, want 2", c.NICDrops)
+	}
+	if got := i.Opportunities(NICDrop); got != ops {
+		t.Errorf("opportunities = %d, want %d", got, ops)
+	}
+}
+
+// An open-ended window (To == 0) anchored at the last opportunity fires
+// there and would keep firing; a window ending at the first opportunity's
+// exclusive bound never reactivates later.
+func TestWindowOpenEndedAndExclusiveBounds(t *testing.T) {
+	const ops = 1024
+	i := MustNewInjector(Plan{Seed: 12, Events: []Event{
+		{Kind: RingOverflow, Probability: 1, From: ops - 1},
+	}})
+	for op := uint64(0); op < ops-1; op++ {
+		if i.Fire(RingOverflow) {
+			t.Fatalf("open-ended window fired early at opportunity %d", op)
+		}
+	}
+	if !i.Fire(RingOverflow) {
+		t.Fatal("open-ended window missed its first opportunity")
+	}
+	if !i.Fire(RingOverflow) {
+		t.Fatal("open-ended window stopped after one firing")
+	}
+	if c := i.Counts(); c.RingOverflows != 2 {
+		t.Errorf("RingOverflows = %d, want 2", c.RingOverflows)
+	}
+}

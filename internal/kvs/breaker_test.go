@@ -1,0 +1,119 @@
+package kvs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sliceaware/internal/faults"
+	"sliceaware/internal/overload"
+	"sliceaware/internal/zipf"
+)
+
+// breakerStore builds a slice-aware store with a shifted hot set (so there
+// is real migration work to do) and a permanent contention storm armed.
+func breakerStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(newMachine(t), Config{Keys: 1 << 12, ServingCore: 0, SliceAware: true, HotLines: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultInjector(faults.MustNewInjector(faults.Plan{Seed: 5, Events: []faults.Event{
+		{Kind: faults.MigrationContention, Probability: 1},
+	}}))
+	s.EnableHotTracking()
+	gen, err := zipf.NewZipf(rand.New(rand.NewSource(3)), 1024, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Workload{GetRatio: 1, Keys: offsetGen{gen, 2048}, Requests: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The acceptance scenario: under a contention storm the breaker trips
+// before the pass has burned every key's full retry budget, fails the rest
+// of the pass fast, and — once the storm clears and the cooldown elapses —
+// recovers through a half-open trial so migration resumes.
+func TestMigrationBreakerTripsAndRecovers(t *testing.T) {
+	s := breakerStore(t)
+	b, err := overload.NewBreaker(overload.BreakerConfig{
+		Window: 4, Cooldown: 100_000, HalfOpenProbes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBreaker(b)
+
+	// Pass 1: the storm fills the outcome window within the first couple
+	// of keys; everything after is skipped cheaply.
+	res, err := s.MigrateTopK(64)
+	if err == nil || !errors.Is(err, ErrContended) {
+		t.Fatalf("storm pass error = %v, want ErrContended", err)
+	}
+	if b.State() != overload.BreakerOpen {
+		t.Fatalf("breaker state after storm = %v, want open", b.State())
+	}
+	if res.BreakerSkips == 0 {
+		t.Fatal("open breaker skipped no keys")
+	}
+	// Without the breaker every skipped key burns its full retry budget
+	// (see TestMigrationRetriesUnderContention); with it, only the keys
+	// that filled the window did.
+	budget := (res.Skipped + res.BreakerSkips) * DefaultRetryAttempts
+	if res.Retries >= budget/2 {
+		t.Errorf("breaker saved no retries: %d of the %d-attempt budget burned", res.Retries, budget)
+	}
+
+	// Pass 2, still inside the cooldown: pure fail-fast — no retries, no
+	// backoff cycles, and the whole pass reports the breaker sentinel.
+	res2, err2 := s.MigrateTopK(64)
+	if !errors.Is(err2, overload.ErrBreakerOpen) {
+		t.Fatalf("cooldown pass error = %v, want ErrBreakerOpen", err2)
+	}
+	if res2.Retries != 0 || res2.Cycles != 0 || res2.BreakerSkips == 0 {
+		t.Errorf("cooldown pass burned work: %+v", res2)
+	}
+
+	// The storm clears and served traffic advances the serving core far
+	// past the cooldown; the next pass's first key is the half-open trial.
+	s.SetFaultInjector(nil)
+	gen, err := zipf.NewZipf(rand.New(rand.NewSource(4)), 1024, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Workload{GetRatio: 1, Keys: offsetGen{gen, 2048}, Requests: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	res3, err3 := s.MigrateTopK(64)
+	if err3 != nil {
+		t.Fatalf("post-storm pass failed: %v", err3)
+	}
+	if res3.Migrated == 0 || res3.BreakerSkips != 0 {
+		t.Errorf("post-storm pass made no progress: %+v", res3)
+	}
+	if b.State() != overload.BreakerClosed {
+		t.Errorf("breaker state after recovery = %v, want closed", b.State())
+	}
+	if st := b.Stats(); st.Trips != 1 || st.Recoveries != 1 {
+		t.Errorf("breaker stats %+v, want 1 trip / 1 recovery", st)
+	}
+}
+
+// A nil breaker must leave the retry path byte-identical to the
+// pre-breaker behavior: same retries, same skips, same cycle bill.
+func TestNilBreakerMatchesLegacyRetries(t *testing.T) {
+	armed := breakerStore(t)
+	armed.SetBreaker(nil)
+	legacy := breakerStore(t)
+
+	ra, erra := armed.MigrateTopK(64)
+	rl, errl := legacy.MigrateTopK(64)
+	if (erra == nil) != (errl == nil) {
+		t.Fatalf("errors diverge: %v vs %v", erra, errl)
+	}
+	if ra != rl {
+		t.Errorf("nil breaker changed the pass: %+v vs %+v", ra, rl)
+	}
+}

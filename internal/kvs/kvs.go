@@ -19,6 +19,7 @@ import (
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/faults"
 	"sliceaware/internal/interconnect"
+	"sliceaware/internal/overload"
 	"sliceaware/internal/phys"
 	"sliceaware/internal/slicemem"
 	"sliceaware/internal/telemetry"
@@ -73,9 +74,11 @@ type Store struct {
 	hotCounts []uint32
 
 	// faults injects swap contention into migration; retry bounds the
-	// fight against it (zero value = defaults).
-	faults *faults.Injector
-	retry  RetryPolicy
+	// fight against it (zero value = defaults); breaker optionally fails
+	// the whole pass fast when contention is persistent (nil = disabled).
+	faults  *faults.Injector
+	retry   RetryPolicy
+	breaker *overload.Breaker
 
 	// footprint models the protocol/connection state the server touches
 	// per request (socket structures, stack, allocator metadata); it
@@ -95,6 +98,7 @@ type Store struct {
 	ctrMigrated *telemetry.Counter
 	ctrRetries  *telemetry.Counter
 	ctrSkipped  *telemetry.Counter
+	ctrBrkSkips *telemetry.Counter
 }
 
 // SetTelemetry instruments the store: request outcome counters (sharded
@@ -108,6 +112,7 @@ func (s *Store) SetTelemetry(c *telemetry.Collector) {
 	s.ctrMigrated = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="migrated"`)
 	s.ctrRetries = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="retried"`)
 	s.ctrSkipped = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="skipped"`)
+	s.ctrBrkSkips = reg.CounterL("kvs_migration_keys_total", "MigrateTopK key outcomes", `outcome="breaker_skipped"`)
 	s.port.SetTelemetry(c)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sliceaware/internal/faults"
+	"sliceaware/internal/overload"
 )
 
 // ErrContended marks a migration pass that could not move any key because
@@ -31,6 +32,17 @@ func (s *Store) SetFaultInjector(fi *faults.Injector) { s.faults = fi }
 
 // SetMigrationRetry overrides the contention retry policy.
 func (s *Store) SetMigrationRetry(p RetryPolicy) { s.retry = p }
+
+// SetBreaker arms a circuit breaker around the per-key swap: once the
+// recent swap attempts are mostly contention losses the breaker opens and
+// MigrateTopK skips remaining keys cheaply (no backoff burn), instead of
+// exhausting each key's full retry budget against a storm that will not
+// clear within the pass. The breaker's clock is the serving core's cycle
+// count, so its cooldown is expressed in cycles. Nil disarms.
+func (s *Store) SetBreaker(b *overload.Breaker) { s.breaker = b }
+
+// Breaker returns the armed migration breaker (nil when disarmed).
+func (s *Store) Breaker() *overload.Breaker { return s.breaker }
 
 // Hot-data monitoring and migration (§8): applications whose hot set
 // shifts over time "should employ monitoring/migration techniques to deal
@@ -79,11 +91,12 @@ func (s *Store) sliceHomed(key uint64) bool {
 
 // MigrationResult reports one MigrateTopK call.
 type MigrationResult struct {
-	Migrated int    // keys whose storage moved into the preferred slice
-	Evicted  int    // previously slice-homed keys displaced to make room
-	Retries  int    // swap attempts lost to contention (and retried or given up)
-	Skipped  int    // keys abandoned after exhausting the retry budget
-	Cycles   uint64 // copy cost charged to the serving core, incl. backoff
+	Migrated     int    // keys whose storage moved into the preferred slice
+	Evicted      int    // previously slice-homed keys displaced to make room
+	Retries      int    // swap attempts lost to contention (and retried or given up)
+	Skipped      int    // keys abandoned after exhausting the retry budget
+	BreakerSkips int    // keys skipped cheaply because the breaker was open
+	Cycles       uint64 // copy cost charged to the serving core, incl. backoff
 }
 
 // MigrateTopK moves the storage of the K most-accessed keys of the current
@@ -143,6 +156,13 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 		}
 		donor := donors[di]
 		di++
+		// While the breaker is open (persistent contention) the key is
+		// skipped without burning any backoff cycles; half-open trials
+		// re-probe the swap path once the cooldown elapses.
+		if err := s.breaker.Allow(float64(s.core.Cycles())); err != nil {
+			res.BreakerSkips++
+			continue
+		}
 		// A concurrent reader can pin either line set mid-swap; back off
 		// (burning serving-core cycles) and retry, bounded so one hot key
 		// cannot stall the whole epoch's pass.
@@ -151,11 +171,13 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 		for a := 0; a < attempts; a++ {
 			if s.faults.Fire(faults.MigrationContention) {
 				res.Retries++
+				s.breaker.Record(float64(s.core.Cycles()), false)
 				s.core.AddCycles(backoff)
 				backoff *= 2
 				continue
 			}
 			s.swapValueStorage(key, donor)
+			s.breaker.Record(float64(s.core.Cycles()), true)
 			moved = true
 			break
 		}
@@ -171,8 +193,12 @@ func (s *Store) MigrateTopK(k int) (MigrationResult, error) {
 	s.ctrMigrated.Add(sc, uint64(res.Migrated))
 	s.ctrRetries.Add(sc, uint64(res.Retries))
 	s.ctrSkipped.Add(sc, uint64(res.Skipped))
+	s.ctrBrkSkips.Add(sc, uint64(res.BreakerSkips))
 	if res.Migrated == 0 && res.Skipped > 0 {
 		return res, fmt.Errorf("%w: all %d candidate keys skipped", ErrContended, res.Skipped)
+	}
+	if res.Migrated == 0 && res.BreakerSkips > 0 {
+		return res, fmt.Errorf("%w: migration pass skipped %d keys", overload.ErrBreakerOpen, res.BreakerSkips)
 	}
 	return res, nil
 }

@@ -121,7 +121,7 @@ func TestFaultAccountingAddsUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	bd := res.DropBreakdown
-	if sum := bd.RxDropRing + bd.RxDropPool + bd.RxDropWire + bd.RxDropCorrupt; sum != res.Dropped {
+	if sum := bd.RxDropRing + bd.RxDropPool + bd.RxDropWire + bd.RxDropCorrupt + bd.RxDropAQM; sum != res.Dropped {
 		t.Errorf("breakdown sums to %d, Dropped = %d", sum, res.Dropped)
 	}
 	fc := res.FaultCounts
@@ -173,5 +173,56 @@ func TestRunValidationSentinel(t *testing.T) {
 	}
 	if _, err := RunPPS(dut, gen, 10, 0); !errors.Is(err, ErrInvalidRun) {
 		t.Errorf("RunPPS error %v does not wrap ErrInvalidRun", err)
+	}
+}
+
+// Window boundaries must hold under saturated load: with the rings
+// overflowing, a one-opportunity window pinned to the first offered frame
+// and another pinned to the last each fire exactly once, and the per-kind
+// opportunity counter still accounts for every frame that hit the wire.
+func TestWindowBoundariesUnderSaturation(t *testing.T) {
+	const offered = 4000
+	fi := faults.MustNewInjector(faults.Plan{Seed: 13, Events: []faults.Event{
+		{Kind: faults.NICDrop, Probability: 1, From: 0, To: 1},
+		{Kind: faults.NICDrop, Probability: 1, From: offered - 1, To: offered},
+	}})
+	// A two-queue port saturates well below the offered rate, so tail-drop
+	// is active for most of the run.
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 2, RingSize: 256, PoolMbufs: 1024,
+		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: dpdk.RSS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := nfv.NewChain("fwd", nfv.NewForwarder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut, err := NewDuT(DuTConfig{Machine: m, Port: port, Chain: chain, Faults: fi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewCampusMix(rand.New(rand.NewSource(9)), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRate(dut, gen, offered, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DropBreakdown.RxDropRing == 0 {
+		t.Fatal("run was not saturated: no ring drops")
+	}
+	if res.FaultCounts.NICDrops != 2 || res.DropBreakdown.RxDropWire != 2 {
+		t.Errorf("boundary windows fired %d times (wire drops %d), want exactly 2",
+			res.FaultCounts.NICDrops, res.DropBreakdown.RxDropWire)
+	}
+	if got := fi.Opportunities(faults.NICDrop); got != uint64(res.OfferedPkts) {
+		t.Errorf("NICDrop opportunities = %d, want one per offered frame (%d)", got, res.OfferedPkts)
 	}
 }

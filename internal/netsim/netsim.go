@@ -19,6 +19,7 @@ import (
 	"sliceaware/internal/dpdk"
 	"sliceaware/internal/faults"
 	"sliceaware/internal/nfv"
+	"sliceaware/internal/overload"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
 )
@@ -85,6 +86,28 @@ type DuTConfig struct {
 	// observes the run but never perturbs it — no cycles are charged and
 	// no randomness is drawn.
 	Telemetry *telemetry.Collector
+	// Overload, when non-nil, arms the overload-control layer; nil runs
+	// the pre-overload pipeline bit-for-bit (blind tail-drop, no shedding,
+	// no pressure feedback).
+	Overload *OverloadConfig
+}
+
+// OverloadConfig arms the overload-control layer on a DuT. Every field is
+// independently optional.
+type OverloadConfig struct {
+	// AQM, when non-nil, installs an active-queue-management discipline on
+	// each of the port's RX rings (called once per queue; see
+	// dpdk.Port.SetAQM).
+	AQM func(queue int) overload.AQM
+	// Shed, when non-nil, enables priority-aware load shedding ahead of
+	// the NIC with the given configuration (zero fields take the
+	// overload package defaults).
+	Shed *overload.ShedConfig
+	// Pressure, when non-nil, receives the folded backpressure signal
+	// ([0,1]) observed at each arrival — the feed for the CacheDirector's
+	// degradation ladder. Wired externally so netsim stays ignorant of who
+	// consumes the signal.
+	Pressure func(nowNs, pressure float64)
 }
 
 // DuT is the device under test: one port polled by one core per queue.
@@ -104,6 +127,14 @@ type DuT struct {
 	latencies []float64 // ns residency per processed packet
 	processed uint64
 
+	// Overload-control state (all nil/zero when disarmed).
+	shed         *overload.Shedder
+	pressureCB   func(nowNs, pressure float64)
+	fullSojourn  float64 // ns regarded as full pressure when folding
+	shedTotal    uint64
+	shedByClass  []uint64
+	shedBaseline []uint64 // scratch: per-run starting counts (runLoop)
+
 	tele *telemetry.Collector
 	// recs mirrors arrivals: the flight record opened for each queued
 	// packet (nil entries when telemetry is off).
@@ -112,6 +143,7 @@ type DuT struct {
 	histResd *telemetry.Histogram
 	histSvc  *telemetry.Histogram
 	ctrDone  *telemetry.Counter
+	ctrShed  []*telemetry.Counter // per-class shed counters
 }
 
 // NewDuT validates and assembles the device under test.
@@ -134,6 +166,22 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 	if cfg.Faults != nil {
 		cfg.Port.SetFaultInjector(cfg.Faults)
 	}
+	if ov := cfg.Overload; ov != nil {
+		if ov.AQM != nil {
+			cfg.Port.SetAQM(ov.AQM)
+		}
+		d.pressureCB = ov.Pressure
+		d.fullSojourn = 100_000 // default fold horizon, ns
+		if ov.Shed != nil {
+			shed, err := overload.NewShedder(*ov.Shed)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: %w", err)
+			}
+			d.shed = shed
+			d.shedByClass = make([]uint64, shed.Classes())
+			d.shedBaseline = make([]uint64, shed.Classes())
+		}
+	}
 	if d.overhead == 0 {
 		d.overhead = DefaultOverheadCycles
 	}
@@ -154,6 +202,14 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 			"Per-packet service time (chain + driver overhead), ns", telemetry.DefLatencyBucketsNs())
 		d.ctrDone = reg.Counter("netsim_packets_processed_total",
 			"Packets run to completion by the NF chain")
+		if d.shed != nil {
+			d.ctrShed = make([]*telemetry.Counter, d.shed.Classes())
+			for c := range d.ctrShed {
+				d.ctrShed[c] = reg.CounterL("netsim_shed_total",
+					"Packets refused by priority shedding, by class",
+					fmt.Sprintf(`class="%d"`, c))
+			}
+		}
 	}
 	return d, nil
 }
@@ -168,6 +224,44 @@ func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
 	pkt.Timestamp = t
 	d.tele.SetNow(t)
 	d.tele.Timeline().Sample(t)
+	if d.shed != nil || d.pressureCB != nil {
+		// Backpressure is read on the queue this packet would land on
+		// (SteerQueue is sticky, so the later Deliver resolves identically).
+		q := d.port.SteerQueue(pkt)
+		occ := float64(d.port.RxQueueLen(q)) / float64(d.port.RxRingCap(q))
+		sojourn := 0.0
+		if len(d.arrivals[q]) > 0 {
+			sojourn = t - d.arrivals[q][0]
+		}
+		var pressure float64
+		if d.shed != nil {
+			pressure = d.shed.Pressure(occ, sojourn)
+		} else {
+			pressure = occ
+			if sj := sojourn / d.fullSojourn; sj > pressure {
+				pressure = sj
+			}
+			if pressure > 1 {
+				pressure = 1
+			}
+		}
+		if d.pressureCB != nil {
+			d.pressureCB(t, pressure)
+		}
+		if d.shed != nil && !d.shed.Admit(int(pkt.Priority), pressure) {
+			class := int(pkt.Priority)
+			if class >= len(d.shedByClass) {
+				class = len(d.shedByClass) - 1
+			}
+			d.shedTotal++
+			d.shedByClass[class]++
+			d.tele.Flight().Drop(pkt.FlowID, pkt.Size, q, t, dropCause(overload.ErrShed))
+			if d.ctrShed != nil {
+				d.ctrShed[class].Inc(q)
+			}
+			return false
+		}
+	}
 	q, ok := d.port.Deliver(pkt)
 	if !ok {
 		d.tele.Flight().Drop(pkt.FlowID, pkt.Size, q, t, dropCause(d.port.LastDropCause()))
@@ -186,6 +280,10 @@ func dropCause(err error) string {
 	switch {
 	case err == nil:
 		return "unknown"
+	case errors.Is(err, overload.ErrShed):
+		return "shed"
+	case errors.Is(err, overload.ErrAQM):
+		return "aqm"
 	case errors.Is(err, dpdk.ErrRingFull):
 		return "ring"
 	case errors.Is(err, dpdk.ErrPoolExhausted):
@@ -317,6 +415,10 @@ func (d *DuT) Processed() uint64 { return d.processed }
 // Port exposes the DuT's port (for drop/throughput counters).
 func (d *DuT) Port() *dpdk.Port { return d.port }
 
+// Shedder exposes the DuT's priority shedder (nil when overload control
+// is disarmed or shedding is off).
+func (d *DuT) Shedder() *overload.Shedder { return d.shed }
+
 // Reset clears collected latencies and timing but keeps caches and tables
 // warm (back-to-back runs, as in the paper's 50-run medians).
 func (d *DuT) Reset() {
@@ -327,6 +429,11 @@ func (d *DuT) Reset() {
 		d.arrivals[q] = d.arrivals[q][:0]
 		d.recs[q] = d.recs[q][:0]
 	}
+	// The simulated clock restarts at zero: clear the AQM disciplines'
+	// clock-anchored episode state (cumulative shed/ladder/breaker state
+	// deliberately survives — overload control remembers recent history
+	// across back-to-back runs, like the caches do).
+	d.port.ResetAQM()
 }
 
 // Result summarizes one LoadGen run. Fault-injected runs never abort
@@ -342,8 +449,15 @@ type Result struct {
 	Dropped      uint64
 	DurationNs   float64
 
+	// Shed counts packets refused by priority shedding before the NIC
+	// (not part of Dropped, which books NIC-level losses only):
+	// Delivered + Dropped + Shed == OfferedPkts. ShedByClass breaks it
+	// down per priority class (nil when shedding is off).
+	Shed        uint64
+	ShedByClass []uint64
+
 	// DropBreakdown carries the port's per-cause RX loss counters for
-	// this run (ring, pool, wire, corruption).
+	// this run (ring, pool, wire, corruption, AQM).
 	DropBreakdown dpdk.PortStats
 	// FaultCounts snapshots the injector's triggered-fault counters at the
 	// end of the run (zero when the DuT runs without an injector).
@@ -356,6 +470,8 @@ type Result struct {
 // (warm-up) and stops at the last arrival (excluding the drain tail).
 func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) float64) (Result, float64) {
 	before := d.port.Stats()
+	shedBefore := d.shedTotal
+	copy(d.shedBaseline, d.shedByClass)
 	t := 0.0
 	var offeredBits float64
 	var windowStartNs float64
@@ -385,13 +501,21 @@ func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) floa
 		Delivered:   st.RxPackets - before.RxPackets,
 		Dropped:     st.RxDropped - before.RxDropped,
 		DurationNs:  end,
+		Shed:      d.shedTotal - shedBefore,
 		DropBreakdown: dpdk.PortStats{
 			RxDropRing:    st.RxDropRing - before.RxDropRing,
 			RxDropPool:    st.RxDropPool - before.RxDropPool,
 			RxDropWire:    st.RxDropWire - before.RxDropWire,
 			RxDropCorrupt: st.RxDropCorrupt - before.RxDropCorrupt,
+			RxDropAQM:     st.RxDropAQM - before.RxDropAQM,
 		},
 		FaultCounts: d.faults.Counts(),
+	}
+	if d.shed != nil {
+		res.ShedByClass = make([]uint64, len(d.shedByClass))
+		for c := range res.ShedByClass {
+			res.ShedByClass[c] = d.shedByClass[c] - d.shedBaseline[c]
+		}
 	}
 	if window := t - windowStartNs; window > 0 {
 		res.AchievedGbps = float64(windowTx) * 8 / window

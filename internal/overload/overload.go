@@ -1,0 +1,80 @@
+// Package overload is the deterministic overload-control layer of the
+// simulated pipeline: the mechanisms that keep the system's behaviour
+// bounded and ordered when arrivals outrun service, instead of letting
+// RX rings build standing queues and latency tails explode.
+//
+// Four cooperating pieces, each pluggable on its own:
+//
+//   - AQM: active queue management on an RX ring's enqueue path. CoDel
+//     watches head-of-line sojourn time against a target and drops with
+//     its inverse-sqrt control law; RED watches smoothed occupancy and
+//     drops probabilistically between two thresholds. Both replace blind
+//     tail-drop with early, cause-tagged drops.
+//   - Shedder: priority-aware load shedding ahead of the NIC. Packets
+//     carry a priority class; under pressure low classes are refused
+//     first, with deterministic per-class accounting.
+//   - Breaker: a generic closed/open/half-open circuit breaker wrapped
+//     around bounded-retry paths, so repeated failures trip fast instead
+//     of burning the retry budget on every call.
+//   - Ladder: an ordered degradation ladder with hysteresis — consecutive
+//     high-pressure observations escalate one level at a time, recovery
+//     requires a longer run of calm, and external signals (a tripped
+//     breaker, a failed watchdog) can pin a floor level.
+//
+// Determinism contract (same as internal/faults): the simulated machine
+// is single-threaded; every decision is a pure function of the
+// component's configuration, its own prior observations, and — for RED
+// only — a per-instance seeded *rand.Rand. The same configuration against
+// the same workload reproduces byte-identical drops, trips and
+// transitions, which is what makes overload runs regression-testable.
+// With every component disabled (nil hooks throughout), the pipeline is
+// bit-for-bit the pre-overload pipeline.
+//
+// Every refusal wraps a sentinel of the ErrOverload family, so callers
+// can errors.Is a loss back to the control layer and telemetry can tag
+// its cause.
+package overload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverload is the family root every overload-control refusal wraps.
+var ErrOverload = errors.New("overload: overload control")
+
+// ErrAQM marks a packet dropped early by active queue management (CoDel
+// or RED) instead of tail-dropped at a full ring.
+var ErrAQM = fmt.Errorf("%w: aqm early drop", ErrOverload)
+
+// ErrShed marks a packet refused by priority-aware load shedding before
+// it reached the NIC.
+var ErrShed = fmt.Errorf("%w: priority shed", ErrOverload)
+
+// ErrBreakerOpen marks an operation refused because its circuit breaker
+// is open (failing fast during cooldown).
+var ErrBreakerOpen = fmt.Errorf("%w: circuit breaker open", ErrOverload)
+
+// AQM decides, once per RX-ring enqueue attempt, whether the packet
+// should be admitted or dropped early. Implementations are consulted
+// after NIC steering and before buffer allocation, so an AQM drop spends
+// no mempool slot and pollutes no cache line with DDIO fill.
+//
+//   - nowNs is the packet's wire-arrival time on the simulated clock
+//     (monotonic within a run).
+//   - qlen/qcap are the target ring's occupancy and capacity.
+//   - sojournNs is the head-of-line sojourn estimate: how long the oldest
+//     queued packet has been waiting (0 when the ring is empty or
+//     timestamps are absent).
+//
+// Admit returns nil to accept, or an error wrapping ErrAQM (and
+// ErrOverload) to drop. Implementations must be deterministic and must
+// not allocate per decision.
+type AQM interface {
+	Admit(nowNs float64, qlen, qcap int, sojournNs float64) error
+	// Reset clears clock-dependent state for a fresh run on a restarted
+	// simulated clock; cumulative drop counters survive.
+	Reset()
+	// Name reports the discipline ("codel", "red") for telemetry labels.
+	Name() string
+}

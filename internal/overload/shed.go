@@ -1,0 +1,135 @@
+package overload
+
+import "fmt"
+
+// DefaultClasses is the priority-class count the trace generators stamp
+// onto packets (class 0 = lowest priority, shed first; class
+// DefaultClasses-1 = highest, shed last).
+const DefaultClasses = 4
+
+// ShedConfig tunes priority-aware load shedding. Zero values take the
+// documented defaults.
+type ShedConfig struct {
+	// Classes is the number of priority classes (default DefaultClasses).
+	Classes int
+	// BaseFrac is the pressure at which class 0 starts shedding
+	// (default 0.05).
+	BaseFrac float64
+	// MaxFrac is the pressure at which the highest class starts shedding
+	// (default 0.75). Thresholds for intermediate classes are spaced
+	// linearly between BaseFrac and MaxFrac, so shed rates are strictly
+	// ordered by class under any pressure distribution that spans them.
+	MaxFrac float64
+	// FullSojournNs is the head-of-line sojourn regarded as full pressure
+	// (1.0) when combining the occupancy and sojourn signals (default
+	// 50 µs — a handful of CoDel intervals, so that when the AQM holds the
+	// queue in its sawtooth the sojourn excursions still span the class
+	// thresholds and shedding stays ordered rather than all-or-nothing).
+	FullSojournNs float64
+}
+
+// Shedder refuses packets by priority class under pressure: the lowest
+// class sheds first, the highest holds out until the pipeline is nearly
+// saturated. Pressure combines ring occupancy with head-of-line sojourn,
+// so the shedder keeps working whether the AQM behind it holds the queue
+// short (sojourn signal) or is absent (occupancy signal).
+//
+// Deterministic: the decision is a pure threshold comparison; no
+// randomness. Per-class offered/shed counters make the ordering
+// regression-checkable.
+type Shedder struct {
+	cfg     ShedConfig
+	thr     []float64 // per-class pressure threshold
+	offered []uint64
+	shed    []uint64
+}
+
+// NewShedder builds a shedder, applying defaults for zero fields.
+func NewShedder(cfg ShedConfig) (*Shedder, error) {
+	if cfg.Classes == 0 {
+		cfg.Classes = DefaultClasses
+	}
+	if cfg.BaseFrac == 0 {
+		cfg.BaseFrac = 0.05
+	}
+	if cfg.MaxFrac == 0 {
+		cfg.MaxFrac = 0.75
+	}
+	if cfg.FullSojournNs == 0 {
+		cfg.FullSojournNs = 50_000
+	}
+	if cfg.Classes < 1 {
+		return nil, fmt.Errorf("overload: shedder needs ≥1 class, got %d", cfg.Classes)
+	}
+	if cfg.BaseFrac < 0 || cfg.MaxFrac > 1 || cfg.BaseFrac > cfg.MaxFrac {
+		return nil, fmt.Errorf("overload: shed thresholds [%v,%v] must satisfy 0 ≤ base ≤ max ≤ 1", cfg.BaseFrac, cfg.MaxFrac)
+	}
+	if cfg.FullSojournNs <= 0 {
+		return nil, fmt.Errorf("overload: full-pressure sojourn %v must be positive", cfg.FullSojournNs)
+	}
+	s := &Shedder{
+		cfg:     cfg,
+		thr:     make([]float64, cfg.Classes),
+		offered: make([]uint64, cfg.Classes),
+		shed:    make([]uint64, cfg.Classes),
+	}
+	for c := range s.thr {
+		if cfg.Classes == 1 {
+			s.thr[c] = cfg.BaseFrac
+			continue
+		}
+		s.thr[c] = cfg.BaseFrac + (cfg.MaxFrac-cfg.BaseFrac)*float64(c)/float64(cfg.Classes-1)
+	}
+	return s, nil
+}
+
+// Classes reports the configured class count.
+func (s *Shedder) Classes() int { return s.cfg.Classes }
+
+// Threshold reports the pressure at which class c sheds (classes outside
+// range clamp to the nearest).
+func (s *Shedder) Threshold(c int) float64 { return s.thr[s.clamp(c)] }
+
+func (s *Shedder) clamp(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= s.cfg.Classes {
+		return s.cfg.Classes - 1
+	}
+	return c
+}
+
+// Pressure folds the two backpressure signals into one [0,1] scalar: the
+// worse of ring occupancy and normalized head-of-line sojourn.
+func (s *Shedder) Pressure(occFrac, sojournNs float64) float64 {
+	p := occFrac
+	if sj := sojournNs / s.cfg.FullSojournNs; sj > p {
+		p = sj
+	}
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Admit decides one packet: true admits, false sheds. Every call is
+// accounted against the packet's (clamped) class.
+func (s *Shedder) Admit(class int, pressure float64) bool {
+	c := s.clamp(class)
+	s.offered[c]++
+	if pressure >= s.thr[c] {
+		s.shed[c]++
+		return false
+	}
+	return true
+}
+
+// Stats returns copies of the cumulative per-class offered and shed
+// counters.
+func (s *Shedder) Stats() (offered, shed []uint64) {
+	return append([]uint64(nil), s.offered...), append([]uint64(nil), s.shed...)
+}

@@ -28,6 +28,14 @@ type Packet struct {
 	DstPort uint16
 	Proto   uint8
 
+	// Priority is the packet's traffic class for overload shedding:
+	// 0 = lowest (shed first) up to NumPriorities-1 = highest (shed last).
+	// Generators derive it as a pure function of the flow identity
+	// (PriorityOf), so adding it drew no extra randomness and left every
+	// generator's RNG stream — and therefore every existing figure —
+	// untouched.
+	Priority uint8
+
 	// Timestamp carries the LoadGen send time in simulated nanoseconds —
 	// the "timestamp in the payload" of the black-box method (§5).
 	//
@@ -42,6 +50,30 @@ type Packet struct {
 // Generator produces packets.
 type Generator interface {
 	Next() Packet
+}
+
+// NumPriorities is the number of traffic classes generators emit.
+const NumPriorities = 4
+
+// PriorityOf derives a packet's traffic class from its flow identity: a
+// deterministic hash spread so most traffic is low-priority (bulk) and
+// each higher class is rarer — roughly 9/16, 4/16, 2/16, 1/16 of flows.
+// Being a pure function of FlowID it costs no RNG draw, and all packets
+// of a flow share one class (per-flow DSCP marking, as a real classifier
+// would produce).
+func PriorityOf(flowID uint64) uint8 {
+	v := flowID * 0x9e3779b97f4a7c15
+	v ^= v >> 33
+	switch n := v % 16; {
+	case n < 9:
+		return 0
+	case n < 13:
+		return 1
+	case n < 15:
+		return 2
+	default:
+		return 3
+	}
 }
 
 // Flow identity constants for synthetic traffic.
@@ -109,13 +141,14 @@ func (g *CampusMix) Next() Packet {
 	f := g.pickFlow()
 	id := g.flows[f]
 	return Packet{
-		Size:    g.drawSize(),
-		FlowID:  uint64(f),
-		SrcIP:   id.srcIP,
-		DstIP:   id.dstIP,
-		SrcPort: id.srcPort,
-		DstPort: id.dstPort,
-		Proto:   id.proto,
+		Size:     g.drawSize(),
+		FlowID:   uint64(f),
+		SrcIP:    id.srcIP,
+		DstIP:    id.dstIP,
+		SrcPort:  id.srcPort,
+		DstPort:  id.dstPort,
+		Proto:    id.proto,
+		Priority: PriorityOf(uint64(f)),
 	}
 }
 
@@ -175,13 +208,14 @@ func NewFixedSize(rng *rand.Rand, size, flows int) (*FixedSize, error) {
 func (f *FixedSize) Next() Packet {
 	flow := f.rng.Intn(f.flows)
 	return Packet{
-		Size:    f.size,
-		FlowID:  uint64(flow),
-		SrcIP:   0x0a000000 | uint32(flow),
-		DstIP:   0xc0a80001,
-		SrcPort: uint16(1024 + flow%60000),
-		DstPort: 80,
-		Proto:   protoTCP,
+		Size:     f.size,
+		FlowID:   uint64(flow),
+		SrcIP:    0x0a000000 | uint32(flow),
+		DstIP:    0xc0a80001,
+		SrcPort:  uint16(1024 + flow%60000),
+		DstPort:  80,
+		Proto:    protoTCP,
+		Priority: PriorityOf(uint64(flow)),
 	}
 }
 
