@@ -1,29 +1,42 @@
 // Command isobench drives the cache-isolation studies: the §7 comparison
-// of CAT way-isolation vs slice isolation under a noisy neighbour, and the
-// hypervisor-style per-VM slice carving §7 proposes as future work.
+// of CAT way-isolation vs slice isolation under a noisy neighbour, the
+// hypervisor-style per-VM slice carving §7 proposes as future work, and
+// the multi-tenant leaky-DMA isolation loop (one point of the F-TENANT
+// sweep: a DPI victim vs a forwarding hog, controller off or on).
 //
 // Usage:
 //
-//	isobench [-mode cat|vmm] [-ops 12000] [-noise 8] [-write]
+//	isobench [-mode cat|vmm|tenant] [-ops 12000] [-noise 8] [-write]
+//	isobench -mode tenant [-hog 3] [-controller] [-full] [-seed 1]
+//	         [-metrics-out tenant.prom]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cat"
 	"sliceaware/internal/cpusim"
+	"sliceaware/internal/experiments"
+	"sliceaware/internal/telemetry"
 	"sliceaware/internal/vmm"
 )
 
 func main() {
-	mode := flag.String("mode", "cat", "experiment: cat (Fig 17) or vmm (§7 hypervisor)")
+	mode := flag.String("mode", "cat", "experiment: cat (Fig 17), vmm (§7 hypervisor), or tenant (leaky-DMA isolation)")
 	ops := flag.Int("ops", 12000, "measured operations per application/VM")
 	noise := flag.Int("noise", 8, "noisy-neighbour accesses per main-app op (cat mode)")
 	write := flag.Bool("write", false, "measure the write variant (cat mode)")
+	hog := flag.Float64("hog", 3, "hog offered load as a multiple of its solo capacity (tenant mode)")
+	controller := flag.Bool("controller", false, "arm the isolation controller (tenant mode)")
+	full := flag.Bool("full", false, "full-scale packet counts (tenant mode; default quick)")
+	seed := flag.Int64("seed", 1, "run-wide seed (tenant mode)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry registry here (tenant mode; Prometheus text, .json = combined JSON)")
 	flag.Parse()
 
 	switch *mode {
@@ -31,6 +44,8 @@ func main() {
 		runCAT(*ops, *noise, *write)
 	case "vmm":
 		runVMM(*ops)
+	case "tenant":
+		runTenant(*hog, *controller, *full, *seed, *metricsOut)
 	default:
 		fmt.Fprintf(os.Stderr, "isobench: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -84,6 +99,70 @@ func runVMM(ops int) {
 			fmt.Printf("    %s slices: %v\n", vm.Name(), vm.Slices())
 		}
 	}
+}
+
+// runTenant runs one point of the F-TENANT study: the DPI victim solo,
+// then the same victim sharing the socket with a forwarding hog offered
+// `hogFactor`× its own capacity, with the isolation controller disarmed or
+// armed. It prints both tails, the leak counters, and every controller
+// decision.
+func runTenant(hogFactor float64, controllerOn, full bool, seed int64, metricsOut string) {
+	experiments.SetSeed(seed)
+	scale := experiments.Quick
+	if full {
+		scale = experiments.Full
+	}
+	if metricsOut != "" {
+		experiments.SetCollector(telemetry.New(telemetry.Config{Shards: 8}))
+	}
+
+	state := "off"
+	if controllerOn {
+		state = "on"
+	}
+	fmt.Printf("multi-tenant leaky DMA (%s scale): DPI victim vs %.1fx forwarding hog, controller %s\n\n",
+		scale, hogFactor, state)
+
+	solo, pt, err := experiments.FigTenantSingle(scale, controllerOn, hogFactor)
+	check(err)
+
+	fmt.Printf("  victim solo:      p99 %.1f µs (steady), first-touch miss %.1f%%\n",
+		solo.VictimP99Us, solo.VictimMissPct)
+	fmt.Printf("  victim with hog:  p99 %.1f µs (steady), %.2fx solo, first-touch miss %.1f%%\n",
+		pt.VictimP99Us, pt.RatioVsSolo, pt.VictimMissPct)
+	fmt.Printf("  hog achieved:     %.1f Gbps\n", pt.HogAchievedGbps)
+	fmt.Printf("  leak counters:    %d unread RX lines evicted, %d first-touch reads missed\n",
+		pt.EvictUnread, pt.MissedFirst)
+	fmt.Printf("  controller:       %d isolations, %d releases, %d suppressed, level %d\n",
+		pt.Stats.Isolations, pt.Stats.Releases, pt.Stats.SuppressedReleases, pt.Level)
+	for _, d := range pt.Decisions {
+		fmt.Printf("    t=%.0fµs %s -> level %d (pressure %.3f)\n",
+			d.TimeNs/1e3, d.Direction, d.Level, d.Pressure)
+	}
+
+	if metricsOut != "" {
+		c := experiments.Collector()
+		check(writeTo(metricsOut, func(w io.Writer) error {
+			if strings.HasSuffix(metricsOut, ".json") {
+				return c.WriteJSON(w)
+			}
+			return c.Registry().WritePrometheus(w)
+		}))
+		fmt.Printf("\n  telemetry: metrics -> %s\n", metricsOut)
+	}
+}
+
+// writeTo renders through fn into path, creating/truncating it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func check(err error) {

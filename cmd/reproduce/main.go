@@ -16,7 +16,8 @@
 // (T3 is derived from F13+F14 and runs them if not already selected).
 // Ablations/extensions (with -all or by ID): A-DDIO A-PLACE A-STEER
 // A-MULTI A-PF S6 S8V S8M S9C F-FAULTS F-OVERLOAD (the overload sweep
-// also prints the F-OVERLOAD/B migration circuit-breaker table).
+// also prints the F-OVERLOAD/B migration circuit-breaker table) and
+// F-TENANT (the multi-tenant leaky-DMA isolation loop).
 //
 // -seed fixes the run-wide seed every experiment derives its randomness
 // from: two invocations with the same seed and selection print identical
@@ -219,6 +220,7 @@ func main() {
 		t.Fprint(os.Stdout)
 		return experiments.OverloadBreakerStorm(scale)
 	})
+	showExt("F-TENANT", func() (*experiments.Table, error) { _, t, err := experiments.FigTenant(scale); return t, err })
 
 	os.Exit(exit)
 }

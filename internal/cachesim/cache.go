@@ -258,6 +258,25 @@ func (c *Cache) Lines() []uint64 {
 	return out
 }
 
+// MaskLen returns the number of valid lines resident in the ways permitted
+// by mask, across all sets — the occupancy of a CAT/DDIO partition. An
+// empty mask degenerates to all ways, matching allowedWays.
+func (c *Cache) MaskLen(mask WayMask) int {
+	if mask == AllWays || mask == 0 {
+		return c.occupied
+	}
+	n := 0
+	for s := 0; s < c.sets; s++ {
+		set := c.set(s)
+		for w := 0; w < c.ways; w++ {
+			if mask&(1<<uint(w)) != 0 && set[w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // SetOccupancy returns the number of valid ways in the set holding line.
 func (c *Cache) SetOccupancy(line uint64) int {
 	set := c.set(c.setIndex(line))

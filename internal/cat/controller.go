@@ -18,7 +18,8 @@ type Controller struct {
 	machine *cpusim.Machine
 	ways    int
 	masks   []cachesim.WayMask
-	assoc   []int // core → COS
+	assoc   []int            // core → COS
+	protect cachesim.WayMask // DDIO-protect guard; 0 = disabled
 }
 
 // NewController initializes CAT with numCOS classes of service. As on real
@@ -77,10 +78,28 @@ func (c *Controller) SetCapacityMask(cos int, mask uint64) error {
 	if !contiguous(mask) {
 		return fmt.Errorf("cat: mask %#x is not a contiguous run of ways (hardware requirement)", mask)
 	}
+	if c.protect != 0 && cachesim.WayMask(mask)&c.protect == c.protect {
+		return fmt.Errorf("cat: %w: mask %#x swallows the protected DDIO ways %#x", ErrDDIOProtected, mask, uint64(c.protect))
+	}
 	c.masks[cos] = cachesim.WayMask(mask)
 	c.applyAll()
 	return nil
 }
+
+// ErrDDIOProtected rejects a capacity mask that fully contains the
+// DDIO-protected ways (see SetDDIOProtect).
+var ErrDDIOProtected = fmt.Errorf("cat: capacity mask swallows DDIO ways")
+
+// SetDDIOProtect arms an opt-in guard (the policy IOCA/A4 argue for, not a
+// hardware rule): once set, SetCapacityMask rejects any mask that fully
+// contains the protected DDIO ways, because a class owning every I/O way
+// lets its demand fills churn in-flight RX lines. Partial overlap stays
+// legal — hardware allows it and DDIO fills ignore CAT anyway. A zero mask
+// disables the guard. Masks already programmed are not re-validated.
+func (c *Controller) SetDDIOProtect(mask cachesim.WayMask) { c.protect = mask }
+
+// DDIOProtect reports the armed guard mask (0 = disabled).
+func (c *Controller) DDIOProtect() cachesim.WayMask { return c.protect }
 
 // Associate binds a core to a class of service (IA32_PQR_ASSOC).
 func (c *Controller) Associate(core, cos int) error {

@@ -1,6 +1,7 @@
 package cat
 
 import (
+	"errors"
 	"testing"
 
 	"sliceaware/internal/cachesim"
@@ -134,3 +135,55 @@ func TestControllerIsolatesFills(t *testing.T) {
 		t.Errorf("%d lines live in a 2-way COS set, want ≤2", live)
 	}
 }
+
+// TestSetDDIOProtect pins the opt-in DDIO-protect guard's contract on the
+// 11-way Skylake LLC (DDIO ways 9..10, mask 0x600): fully swallowing the
+// protected ways is rejected, partial overlap and disjoint masks stay
+// legal, zero disarms the guard, and the hardware contiguity rule is
+// still enforced alongside it.
+func TestSetDDIOProtect(t *testing.T) {
+	cases := []struct {
+		name    string
+		protect cachesim.WayMask
+		mask    uint64
+		wantErr error // nil = accepted; ErrDDIOProtected or errAny
+	}{
+		{name: "swallows both DDIO ways", protect: 0x600, mask: 0x7ff, wantErr: ErrDDIOProtected},
+		{name: "exactly the DDIO ways", protect: 0x600, mask: 0x600, wantErr: ErrDDIOProtected},
+		{name: "partial overlap is legal", protect: 0x600, mask: 0x700 &^ 0x400},
+		{name: "disjoint core-side mask", protect: 0x600, mask: 0x0ff},
+		{name: "guard disarmed accepts full mask", protect: 0, mask: 0x7ff},
+		{name: "contiguity still enforced", protect: 0x600, mask: 0x505, wantErr: errAny},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newSkylake(t)
+			c, err := NewController(m, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetDDIOProtect(tc.protect)
+			if got := c.DDIOProtect(); got != tc.protect {
+				t.Fatalf("DDIOProtect() = %#x, want %#x", uint64(got), uint64(tc.protect))
+			}
+			err = c.SetCapacityMask(1, tc.mask)
+			switch {
+			case tc.wantErr == nil && err != nil:
+				t.Errorf("mask %#x rejected: %v", tc.mask, err)
+			case tc.wantErr == errAny && err == nil:
+				t.Errorf("mask %#x accepted, want an error", tc.mask)
+			case tc.wantErr == ErrDDIOProtected && !errors.Is(err, ErrDDIOProtected):
+				t.Errorf("mask %#x: err = %v, want ErrDDIOProtected", tc.mask, err)
+			}
+			// A rejected mask must leave the programmed state untouched.
+			if tc.wantErr != nil {
+				if w, _ := c.WaysOf(1); w != 11 {
+					t.Errorf("rejected mask changed COS1 to %d ways", w)
+				}
+			}
+		})
+	}
+}
+
+// errAny marks table rows that expect some error other than the guard's.
+var errAny = errors.New("any error")

@@ -144,6 +144,13 @@ func (m *Machine) ResetCaches() {
 // touched line is invalidated in all private caches and allocated into the
 // LLC through the DDIO way mask.
 func (m *Machine) DMAWrite(pa uint64, size int) {
+	m.DMAWriteMasked(pa, size, 0)
+}
+
+// DMAWriteMasked is DMAWrite with the fills confined to an explicit DDIO
+// way mask (a tenant's I/O-way share). A zero mask uses the socket-wide
+// DDIO mask, making it exactly DMAWrite.
+func (m *Machine) DMAWriteMasked(pa uint64, size int, mask cachesim.WayMask) {
 	if size <= 0 {
 		return
 	}
@@ -155,7 +162,7 @@ func (m *Machine) DMAWrite(pa uint64, size int) {
 			c.l1.Invalidate(line)
 			c.l2.Invalidate(line)
 		}
-		v, _ := m.LLC.DMAInsert(addr)
+		v, _ := m.LLC.DMAInsertMasked(addr, mask)
 		m.backInvalidate(v)
 	}
 }
@@ -244,7 +251,7 @@ func (c *Core) access(pa uint64, write bool) uint64 {
 		return uint64(p.L2Latency)
 	}
 
-	hit, slice := c.m.LLC.Lookup(pa, false)
+	hit, slice := c.m.LLC.LookupCore(c.id, pa, false)
 	penalty := uint64(c.m.Topo.Penalty(c.id, slice))
 	if hit {
 		c.stats.LLCHits++

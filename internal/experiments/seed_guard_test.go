@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/llcmgmt"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the pinned seed golden files")
+
+// TestTenantSubsystemLeavesSeedOutputUnchanged pins the F8/F13/F14 quick
+// seed-1 tables to a golden file and proves the tenant subsystem is
+// pay-for-what-you-use: a constructed-but-empty registry and a disarmed,
+// ticking controller must leave every pre-existing experiment
+// byte-identical to the seed. If the golden ever drifts, either a shared
+// code path (llc, dpdk, netsim) changed behaviour for unregistered
+// machines — a regression — or the change is intentional and the golden
+// is regenerated with -update.
+func TestTenantSubsystemLeavesSeedOutputUnchanged(t *testing.T) {
+	// Construct the subsystem's objects on a scratch machine first; they
+	// must not perturb any global state the experiments depend on.
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := llcmgmt.NewRegistry(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := llcmgmt.NewController(reg, llcmgmt.ControllerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Armed() {
+		t.Fatal("controller must start disarmed")
+	}
+	for i := 0; i < 10; i++ {
+		ctrl.Tick(float64(i) * 1e5) // disarmed ticks are no-ops
+	}
+	if got := ctrl.Stats(); got.Epochs != 0 {
+		t.Fatalf("disarmed controller closed %d epochs, want 0", got.Epochs)
+	}
+
+	SetSeed(1)
+	var buf bytes.Buffer
+	if _, tab, err := Figure8(Quick); err != nil {
+		t.Fatal(err)
+	} else {
+		tab.Fprint(&buf)
+	}
+	if _, tab, err := Figure13(Quick); err != nil {
+		t.Fatal(err)
+	} else {
+		tab.Fprint(&buf)
+	}
+	if _, tab, err := Figure14(Quick); err != nil {
+		t.Fatal(err)
+	} else {
+		tab.Fprint(&buf)
+	}
+
+	golden := filepath.Join("testdata", "seed1_quick_f8_f13_f14.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("F8/F13/F14 quick seed-1 output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

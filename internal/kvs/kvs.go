@@ -369,3 +369,7 @@ func (s *Store) Run(w Workload) (Result, error) {
 func (s *Store) PreferredSlice() int {
 	return interconnect.Preferences(s.machine.Topo)[s.cfg.ServingCore].Primary
 }
+
+// ServingCore reports the core the store polls and serves on — tenant
+// registries use it to check the store runs on cores the tenant owns.
+func (s *Store) ServingCore() int { return s.cfg.ServingCore }

@@ -7,6 +7,7 @@ package llc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cachesim"
@@ -14,12 +15,26 @@ import (
 )
 
 // CBoEvents mirrors the uncore counters each slice exposes (§2). The
-// reverse-engineering methodology of §2.1 relies on Lookups.
+// reverse-engineering methodology of §2.1 relies on Lookups. The three
+// DDIO* leak counters make the "leaky DMA" pathology of IOCA measurable:
+// DMA fills outpacing core consumption evict RX lines nobody has read yet,
+// so the consumer's first-touch read goes all the way to DRAM.
 type CBoEvents struct {
-	Lookups   uint64 // every probe that reached this slice
-	Misses    uint64 // probes that missed
-	DDIOFills uint64 // lines allocated by DMA
-	Evictions uint64 // valid lines displaced
+	Lookups             uint64 // every probe that reached this slice
+	Misses              uint64 // probes that missed
+	DDIOFills           uint64 // lines allocated by DMA
+	Evictions           uint64 // valid lines displaced
+	DDIOEvictUnread     uint64 // DMA-filled lines evicted before any core read them
+	DDIOFirstTouchHits  uint64 // first core reads of a DMA-filled line served by the LLC
+	DDIOMissedFirstTouch uint64 // first core reads that missed because the line leaked
+}
+
+// FirstTouchStats counts, per consuming core, how the first read of each
+// DMA-filled line fared — the per-tenant attribution signal the llcmgmt
+// controller steers on.
+type FirstTouchStats struct {
+	Hits   uint64 // first touch served from the LLC (DDIO worked)
+	Misses uint64 // first touch went to DRAM (the line leaked first)
 }
 
 // SlicedLLC is the shared last-level cache of one socket.
@@ -29,6 +44,16 @@ type SlicedLLC struct {
 	events   []CBoEvents
 	ddioMask cachesim.WayMask
 	lineBits uint
+
+	// Leaky-DMA bookkeeping. dmaUnread holds DMA-filled lines no core has
+	// read yet; dmaLeaked holds lines that were evicted while still unread,
+	// so the eventual first-touch miss can be attributed to the leak. Both
+	// maps are membership-only (never iterated), keeping runs deterministic,
+	// and both are bounded by mbuf-pool line recycling.
+	dmaUnread map[uint64]struct{}
+	dmaLeaked map[uint64]struct{}
+	perCore   []FirstTouchStats
+	reconfig  func(effectiveWays int)
 }
 
 // New builds the LLC for a profile with the given hash. The hash's slice
@@ -38,11 +63,13 @@ func New(p *arch.Profile, h chash.Hash) (*SlicedLLC, error) {
 		return nil, fmt.Errorf("llc: hash covers %d slices, profile has %d", h.Slices(), p.Slices)
 	}
 	l := &SlicedLLC{
-		hash:     h,
-		slices:   make([]*cachesim.Cache, p.Slices),
-		events:   make([]CBoEvents, p.Slices),
-		ddioMask: cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
-		lineBits: 6,
+		hash:      h,
+		slices:    make([]*cachesim.Cache, p.Slices),
+		events:    make([]CBoEvents, p.Slices),
+		ddioMask:  cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
+		lineBits:  6,
+		dmaUnread: make(map[uint64]struct{}),
+		dmaLeaked: make(map[uint64]struct{}),
 	}
 	for i := range l.slices {
 		c, err := cachesim.New(fmt.Sprintf("LLC-slice-%d", i), p.LLCSlice.Sets(), p.LLCSlice.Ways)
@@ -71,13 +98,53 @@ func (l *SlicedLLC) line(pa uint64) uint64 { return pa >> l.lineBits }
 // which slice served the probe. CBo lookup counters advance either way —
 // that observability is what makes polling-based reverse engineering work.
 func (l *SlicedLLC) Lookup(pa uint64, write bool) (hit bool, slice int) {
+	return l.LookupCore(-1, pa, write)
+}
+
+// LookupCore is Lookup with the probing core identified, so first-touch
+// reads of DMA-filled lines can be attributed per core (and from there per
+// tenant). core < 0 means "unattributed" and only the per-slice counters
+// advance.
+func (l *SlicedLLC) LookupCore(core int, pa uint64, write bool) (hit bool, slice int) {
 	slice = l.SliceOf(pa)
 	l.events[slice].Lookups++
-	hit = l.slices[slice].Lookup(l.line(pa), write)
-	if !hit {
+	line := l.line(pa)
+	hit = l.slices[slice].Lookup(line, write)
+	if hit {
+		if _, unread := l.dmaUnread[line]; unread {
+			delete(l.dmaUnread, line)
+			l.events[slice].DDIOFirstTouchHits++
+			l.firstTouch(core).Hits++
+		}
+	} else {
 		l.events[slice].Misses++
+		if _, leaked := l.dmaLeaked[line]; leaked {
+			delete(l.dmaLeaked, line)
+			l.events[slice].DDIOMissedFirstTouch++
+			l.firstTouch(core).Misses++
+		}
 	}
 	return hit, slice
+}
+
+// firstTouch returns the per-core stats cell for core, growing the table on
+// demand; core < 0 maps to a discard cell.
+func (l *SlicedLLC) firstTouch(core int) *FirstTouchStats {
+	if core < 0 {
+		return &FirstTouchStats{}
+	}
+	for core >= len(l.perCore) {
+		l.perCore = append(l.perCore, FirstTouchStats{})
+	}
+	return &l.perCore[core]
+}
+
+// FirstTouch returns a copy of the first-touch counters for one core.
+func (l *SlicedLLC) FirstTouch(core int) FirstTouchStats {
+	if core < 0 || core >= len(l.perCore) {
+		return FirstTouchStats{}
+	}
+	return l.perCore[core]
 }
 
 // Contains probes without disturbing LRU state or counters.
@@ -85,13 +152,31 @@ func (l *SlicedLLC) Contains(pa uint64) bool {
 	return l.slices[l.SliceOf(pa)].Contains(l.line(pa))
 }
 
+// noteEviction advances the eviction counters for a victim displaced from
+// slice, detecting the leaky-DMA case: a DMA-filled line thrown out before
+// any core read it moves from the unread set to the leaked set.
+func (l *SlicedLLC) noteEviction(slice int, v cachesim.Victim) {
+	if !v.Evicted {
+		return
+	}
+	l.events[slice].Evictions++
+	if _, unread := l.dmaUnread[v.Line]; unread {
+		delete(l.dmaUnread, v.Line)
+		l.dmaLeaked[v.Line] = struct{}{}
+		l.events[slice].DDIOEvictUnread++
+	}
+}
+
 // Insert fills pa into its slice under the way mask, returning the victim.
 func (l *SlicedLLC) Insert(pa uint64, dirty bool, mask cachesim.WayMask) (cachesim.Victim, int) {
 	slice := l.SliceOf(pa)
-	v := l.slices[slice].Insert(l.line(pa), dirty, mask)
-	if v.Evicted {
-		l.events[slice].Evictions++
-	}
+	line := l.line(pa)
+	v := l.slices[slice].Insert(line, dirty, mask)
+	l.noteEviction(slice, v)
+	// A core-side fill of this line means the core has its data some other
+	// way; stop tracking it without counting a leak either way.
+	delete(l.dmaUnread, line)
+	delete(l.dmaLeaked, line)
 	return v, slice
 }
 
@@ -99,21 +184,40 @@ func (l *SlicedLLC) Insert(pa uint64, dirty bool, mask cachesim.WayMask) (caches
 // DDIO ways (2 of 20 by default — the 10 % limit of §5.2/§8). The inserted
 // line is dirty from the cache's point of view (DMA wrote fresh data).
 func (l *SlicedLLC) DMAInsert(pa uint64) (cachesim.Victim, int) {
-	slice := l.SliceOf(pa)
-	v := l.slices[slice].Insert(l.line(pa), true, l.ddioMask)
-	l.events[slice].DDIOFills++
-	if v.Evicted {
-		l.events[slice].Evictions++
+	return l.DMAInsertMasked(pa, 0)
+}
+
+// DMAInsertMasked is DMAInsert confined to an explicit way mask — the
+// per-tenant DDIO partition the llcmgmt controller programs per port. A
+// zero mask falls back to the socket-wide DDIO mask, so untagged traffic
+// behaves exactly as before.
+func (l *SlicedLLC) DMAInsertMasked(pa uint64, mask cachesim.WayMask) (cachesim.Victim, int) {
+	if mask == 0 {
+		mask = l.ddioMask
 	}
+	slice := l.SliceOf(pa)
+	line := l.line(pa)
+	v := l.slices[slice].Insert(line, true, mask)
+	l.events[slice].DDIOFills++
+	l.noteEviction(slice, v)
+	// Fresh DMA data, not yet read by any core. A re-DMA of a recycled mbuf
+	// line supersedes any stale pending first-touch miss.
+	l.dmaUnread[line] = struct{}{}
+	delete(l.dmaLeaked, line)
 	return v, slice
 }
 
 // DDIOWayMask exposes the way mask DMA fills are confined to.
 func (l *SlicedLLC) DDIOWayMask() cachesim.WayMask { return l.ddioMask }
 
+// DDIOWays returns the current number of DDIO ways.
+func (l *SlicedLLC) DDIOWays() int { return bits.OnesCount64(uint64(l.ddioMask)) }
+
 // SetDDIOWays reconfigures the number of ways DMA may allocate into; used
-// by the DDIO-budget ablation.
-func (l *SlicedLLC) SetDDIOWays(ways int) {
+// by the DDIO-budget ablation and the llcmgmt controller. Out-of-range
+// requests clamp to [1, total ways]; the effective way count is returned
+// and reported to the reconfiguration hook, if one is installed.
+func (l *SlicedLLC) SetDDIOWays(ways int) int {
 	total := l.slices[0].Ways()
 	if ways < 1 {
 		ways = 1
@@ -122,11 +226,33 @@ func (l *SlicedLLC) SetDDIOWays(ways int) {
 		ways = total
 	}
 	l.ddioMask = cachesim.MaskOfWayRange(total-ways, total)
+	if l.reconfig != nil {
+		l.reconfig(ways)
+	}
+	return ways
+}
+
+// SetReconfigHook installs fn, invoked with the effective way count after
+// every SetDDIOWays. Telemetry uses it to stamp a timeline event on each
+// DDIO reconfiguration; the hook must not call back into the LLC.
+func (l *SlicedLLC) SetReconfigHook(fn func(effectiveWays int)) { l.reconfig = fn }
+
+// DDIOOccupancy returns, per slice, the number of valid lines resident in
+// the socket-wide DDIO ways — how full the I/O partition is right now.
+func (l *SlicedLLC) DDIOOccupancy() []int {
+	out := make([]int, len(l.slices))
+	for i, s := range l.slices {
+		out[i] = s.MaskLen(l.ddioMask)
+	}
+	return out
 }
 
 // Invalidate removes pa from its slice (clflush reaching the LLC level).
 func (l *SlicedLLC) Invalidate(pa uint64) (present, dirty bool) {
-	return l.slices[l.SliceOf(pa)].Invalidate(l.line(pa))
+	line := l.line(pa)
+	delete(l.dmaUnread, line)
+	delete(l.dmaLeaked, line)
+	return l.slices[l.SliceOf(pa)].Invalidate(line)
 }
 
 // FlushAll empties every slice.
@@ -134,6 +260,8 @@ func (l *SlicedLLC) FlushAll() {
 	for _, s := range l.slices {
 		s.FlushAll()
 	}
+	l.dmaUnread = make(map[uint64]struct{})
+	l.dmaLeaked = make(map[uint64]struct{})
 }
 
 // Events returns a copy of the CBo counters for one slice.
@@ -146,10 +274,14 @@ func (l *SlicedLLC) AllEvents() []CBoEvents {
 	return out
 }
 
-// ResetEvents zeroes all CBo counters (writing the CBo control MSRs).
+// ResetEvents zeroes all CBo counters (writing the CBo control MSRs) and
+// the per-core first-touch attribution counters.
 func (l *SlicedLLC) ResetEvents() {
 	for i := range l.events {
 		l.events[i] = CBoEvents{}
+	}
+	for i := range l.perCore {
+		l.perCore[i] = FirstTouchStats{}
 	}
 }
 

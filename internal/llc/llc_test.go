@@ -101,17 +101,136 @@ func TestDMAInsertConfinedToDDIOWays(t *testing.T) {
 
 func TestSetDDIOWaysClamps(t *testing.T) {
 	l := newHaswellLLC(t)
-	l.SetDDIOWays(0)
+	var hookCalls []int
+	l.SetReconfigHook(func(w int) { hookCalls = append(hookCalls, w) })
+	// Both clamp edges report the effective count, not the request.
+	if got := l.SetDDIOWays(0); got != 1 {
+		t.Errorf("SetDDIOWays(0) = %d, want 1 (clamped low)", got)
+	}
 	if got := countBits(uint64(l.DDIOWayMask())); got != 1 {
 		t.Errorf("clamped-low mask has %d ways, want 1", got)
 	}
-	l.SetDDIOWays(100)
+	if got := l.SetDDIOWays(100); got != 20 {
+		t.Errorf("SetDDIOWays(100) = %d, want 20 (clamped high)", got)
+	}
 	if got := countBits(uint64(l.DDIOWayMask())); got != 20 {
 		t.Errorf("clamped-high mask has %d ways, want 20", got)
 	}
-	l.SetDDIOWays(4)
+	if got := l.SetDDIOWays(4); got != 4 {
+		t.Errorf("SetDDIOWays(4) = %d, want 4", got)
+	}
 	if got := countBits(uint64(l.DDIOWayMask())); got != 4 {
 		t.Errorf("mask has %d ways, want 4", got)
+	}
+	if got := l.DDIOWays(); got != 4 {
+		t.Errorf("DDIOWays() = %d, want 4", got)
+	}
+	// Every reconfiguration — including clamped ones — fires the hook with
+	// the effective count (telemetry records them as timeline events).
+	want := []int{1, 20, 4}
+	if len(hookCalls) != len(want) {
+		t.Fatalf("reconfig hook fired %d times (%v), want %d", len(hookCalls), hookCalls, len(want))
+	}
+	for i, w := range want {
+		if hookCalls[i] != w {
+			t.Errorf("hook call %d = %d, want %d", i, hookCalls[i], w)
+		}
+	}
+}
+
+// sameSetAddrs returns n addresses hashing to one slice and indexing one
+// set, so DMA inserts beyond the DDIO budget force evictions among them.
+func sameSetAddrs(l *SlicedLLC, p *arch.Profile, n int) (int, []uint64) {
+	target := l.Hash().Slice(0)
+	setSize := uint64(p.LLCSlice.Sets() * 64)
+	var addrs []uint64
+	for a := uint64(0); len(addrs) < n; a += setSize {
+		if l.Hash().Slice(a) == target {
+			addrs = append(addrs, a)
+		}
+	}
+	return target, addrs
+}
+
+func TestLeakyDMACounters(t *testing.T) {
+	p := arch.HaswellE52667v3()
+	l, err := New(p, chash.Haswell8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, addrs := sameSetAddrs(l, p, p.DDIOWays+1)
+
+	// Fill the set's DDIO budget, then one more: the LRU unread line leaks.
+	for _, a := range addrs {
+		l.DMAInsert(a)
+	}
+	ev := l.Events(target)
+	if ev.DDIOEvictUnread != 1 {
+		t.Fatalf("DDIOEvictUnread = %d after overflowing the DDIO budget by one, want 1", ev.DDIOEvictUnread)
+	}
+
+	// First touch of the leaked line misses to DRAM and is charged to the
+	// reading core; first touch of a resident line is a hit.
+	leaked, resident := addrs[0], addrs[1]
+	if hit, _ := l.LookupCore(3, leaked, false); hit {
+		t.Error("leaked line still hits")
+	}
+	if hit, _ := l.LookupCore(3, resident, false); !hit {
+		t.Error("resident DMA line misses")
+	}
+	ev = l.Events(target)
+	if ev.DDIOMissedFirstTouch != 1 {
+		t.Errorf("DDIOMissedFirstTouch = %d, want 1", ev.DDIOMissedFirstTouch)
+	}
+	if ev.DDIOFirstTouchHits != 1 {
+		t.Errorf("DDIOFirstTouchHits = %d, want 1", ev.DDIOFirstTouchHits)
+	}
+	ft := l.FirstTouch(3)
+	if ft.Hits != 1 || ft.Misses != 1 {
+		t.Errorf("core 3 first-touch stats = %+v, want {Hits:1 Misses:1}", ft)
+	}
+	if other := l.FirstTouch(0); other.Hits != 0 || other.Misses != 0 {
+		t.Errorf("core 0 first-touch stats = %+v, want zero (attribution leaked across cores)", other)
+	}
+
+	// A second read of the same lines is no longer a first touch: the
+	// counters must not move again.
+	l.LookupCore(3, leaked, false)
+	l.LookupCore(3, resident, false)
+	ev = l.Events(target)
+	if ev.DDIOMissedFirstTouch != 1 || ev.DDIOFirstTouchHits != 1 {
+		t.Errorf("re-reads moved first-touch counters: %+v", ev)
+	}
+
+	// ResetEvents clears both the slice events and per-core attribution.
+	l.ResetEvents()
+	if ft := l.FirstTouch(3); ft.Hits != 0 || ft.Misses != 0 {
+		t.Errorf("first-touch stats survive ResetEvents: %+v", ft)
+	}
+}
+
+func TestDDIOOccupancy(t *testing.T) {
+	p := arch.HaswellE52667v3()
+	l, err := New(p, chash.Haswell8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, addrs := sameSetAddrs(l, p, p.DDIOWays)
+	for _, a := range addrs {
+		l.DMAInsert(a)
+	}
+	occ := l.DDIOOccupancy()
+	if len(occ) != l.Slices() {
+		t.Fatalf("occupancy reports %d slices, want %d", len(occ), l.Slices())
+	}
+	for s, n := range occ {
+		want := 0
+		if s == target {
+			want = p.DDIOWays
+		}
+		if n != want {
+			t.Errorf("slice %d DDIO occupancy = %d, want %d", s, n, want)
+		}
 	}
 }
 

@@ -73,6 +73,10 @@ type DuTConfig struct {
 	Machine *cpusim.Machine
 	Port    *dpdk.Port
 	Chain   *nfv.Chain
+	// CoreOffset maps queue q to machine core CoreOffset+q (default 0 —
+	// queue 0 on core 0). A tenant DuT sharing the machine with others
+	// sets it so each tenant polls its own cores.
+	CoreOffset int
 	// OverheadCycles overrides DefaultOverheadCycles when non-zero.
 	OverheadCycles uint64
 	// Burst overrides DefaultBurst when non-zero.
@@ -112,12 +116,13 @@ type OverloadConfig struct {
 
 // DuT is the device under test: one port polled by one core per queue.
 type DuT struct {
-	machine  *cpusim.Machine
-	port     *dpdk.Port
-	chain    *nfv.Chain
-	overhead uint64
-	burst    int
-	faults   *faults.Injector
+	machine    *cpusim.Machine
+	port       *dpdk.Port
+	chain      *nfv.Chain
+	coreOffset int
+	overhead   uint64
+	burst      int
+	faults     *faults.Injector
 
 	freq float64 // Hz
 
@@ -151,17 +156,22 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 	if cfg.Machine == nil || cfg.Port == nil || cfg.Chain == nil {
 		return nil, fmt.Errorf("netsim: machine, port and chain are all required")
 	}
-	if cfg.Port.Queues() > cfg.Machine.Cores() {
-		return nil, fmt.Errorf("netsim: %d queues exceed %d cores", cfg.Port.Queues(), cfg.Machine.Cores())
+	if cfg.CoreOffset < 0 {
+		return nil, fmt.Errorf("netsim: negative core offset %d", cfg.CoreOffset)
+	}
+	if cfg.CoreOffset+cfg.Port.Queues() > cfg.Machine.Cores() {
+		return nil, fmt.Errorf("netsim: %d queues at core offset %d exceed %d cores",
+			cfg.Port.Queues(), cfg.CoreOffset, cfg.Machine.Cores())
 	}
 	d := &DuT{
-		machine:  cfg.Machine,
-		port:     cfg.Port,
-		chain:    cfg.Chain,
-		overhead: cfg.OverheadCycles,
-		burst:    cfg.Burst,
-		faults:   cfg.Faults,
-		freq:     cfg.Machine.Profile.FrequencyHz,
+		machine:    cfg.Machine,
+		port:       cfg.Port,
+		chain:      cfg.Chain,
+		coreOffset: cfg.CoreOffset,
+		overhead:   cfg.OverheadCycles,
+		burst:      cfg.Burst,
+		faults:     cfg.Faults,
+		freq:       cfg.Machine.Profile.FrequencyHz,
 	}
 	if cfg.Faults != nil {
 		cfg.Port.SetFaultInjector(cfg.Faults)
@@ -320,7 +330,7 @@ func (d *DuT) advanceQueue(q int, t float64) {
 			n = avail
 		}
 		ms := d.port.RxBurst(q, n)
-		core := d.machine.Core(q)
+		core := d.machine.Core(d.coreOffset + q)
 		for _, mb := range ms {
 			arr := d.arrivals[q][0]
 			d.arrivals[q] = d.arrivals[q][1:]
@@ -404,6 +414,9 @@ func (d *DuT) Drain() float64 {
 
 // Telemetry returns the DuT's collector (nil when uninstrumented).
 func (d *DuT) Telemetry() *telemetry.Collector { return d.tele }
+
+// CoreOffset reports the first machine core this DuT's queues poll on.
+func (d *DuT) CoreOffset() int { return d.coreOffset }
 
 // Latencies returns per-packet DuT residency in ns (queueing + service),
 // i.e. end-to-end latency without the loopback component.

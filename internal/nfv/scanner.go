@@ -1,0 +1,39 @@
+package nfv
+
+import (
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+)
+
+// scanComputeCyclesPerLine is the instruction-stream cost of pattern
+// matching one cache line of payload (a DFA step per byte, amortized).
+const scanComputeCyclesPerLine = 12
+
+// PayloadScanner is a DPI-style NF that inspects the full payload: every
+// cache line of every segment is read on the serving core. Unlike the
+// header-only NFs, its service time is dominated by where those lines are
+// when the core asks for them — each DMA-filled line that leaked out of
+// the DDIO ways before this first touch costs a DRAM round-trip instead of
+// an LLC hit, which is exactly the victim-side damage of the leaky-DMA
+// pathology the F-TENANT experiment measures.
+type PayloadScanner struct{}
+
+// NewPayloadScanner returns the full-payload inspection NF.
+func NewPayloadScanner() *PayloadScanner { return &PayloadScanner{} }
+
+// Name implements NF.
+func (*PayloadScanner) Name() string { return "PayloadScanner" }
+
+// Process implements NF.
+func (*PayloadScanner) Process(core *cpusim.Core, mb *dpdk.Mbuf) bool {
+	lines := uint64(0)
+	for s := mb; s != nil; s = s.Next {
+		va := s.DataVA()
+		for off := 0; off < s.DataLen(); off += 64 {
+			core.Read(va + uint64(off))
+			lines++
+		}
+	}
+	core.AddCycles(lines * scanComputeCyclesPerLine)
+	return true
+}

@@ -19,6 +19,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"sliceaware/internal/llc"
@@ -59,6 +60,9 @@ type Collector struct {
 	flight   *FlightRecorder
 	timeline *Timeline
 	nowNs    float64
+
+	llc       *llc.SlicedLLC // most recently bound LLC; llc_ddio_* gauges read it
+	llcGauges bool           // gauges registered once, surviving rebinds
 }
 
 // New builds an armed Collector.
@@ -124,12 +128,64 @@ func (c *Collector) Event(name string) {
 	c.timeline.Event(c.nowNs, name)
 }
 
-// BindLLC points the heat timeline at a machine's LLC counters.
+// BindLLC points the heat timeline at a machine's LLC counters, installs
+// the DDIO reconfiguration hook (every SetDDIOWays lands as a timeline
+// event), and registers the llc_ddio_* export-time gauges: per-slice DDIO
+// occupancy, cumulative fills and leak counters, and fill/evict-unread
+// rates over the simulated clock. The gauges are registered once per
+// collector and follow rebinds to a different LLC; re-binding the same LLC
+// (two tenant DuTs on one machine) changes nothing.
 func (c *Collector) BindLLC(l *llc.SlicedLLC) {
 	if c == nil {
 		return
 	}
 	c.timeline.Bind(l)
+	if l == nil {
+		return
+	}
+	c.llc = l
+	l.SetReconfigHook(func(effectiveWays int) {
+		c.Event(fmt.Sprintf("ddio_ways=%d", effectiveWays))
+	})
+	if c.llcGauges {
+		return
+	}
+	c.llcGauges = true
+	c.reg.GaugeFunc("llc_ddio_ways", "Ways DMA may currently allocate into", "",
+		func() float64 { return float64(c.llc.DDIOWays()) })
+	perMs := func(v uint64) float64 {
+		if c.nowNs <= 0 {
+			return 0
+		}
+		return float64(v) / (c.nowNs / 1e6)
+	}
+	for s := 0; s < l.Slices(); s++ {
+		s := s
+		lbl := fmt.Sprintf(`slice="%d"`, s)
+		ev := func() llc.CBoEvents {
+			if s >= c.llc.Slices() {
+				return llc.CBoEvents{}
+			}
+			return c.llc.Events(s)
+		}
+		c.reg.GaugeFunc("llc_ddio_occupancy", "Valid lines resident in the DDIO ways, per slice", lbl,
+			func() float64 {
+				if s >= c.llc.Slices() {
+					return 0
+				}
+				return float64(c.llc.DDIOOccupancy()[s])
+			})
+		c.reg.GaugeFunc("llc_ddio_fills", "Cumulative DMA fills, per slice", lbl,
+			func() float64 { return float64(ev().DDIOFills) })
+		c.reg.GaugeFunc("llc_ddio_evict_unread", "DMA-filled lines evicted before first read, per slice", lbl,
+			func() float64 { return float64(ev().DDIOEvictUnread) })
+		c.reg.GaugeFunc("llc_ddio_missed_first_touch", "First-touch reads that missed because the line leaked, per slice", lbl,
+			func() float64 { return float64(ev().DDIOMissedFirstTouch) })
+		c.reg.GaugeFunc("llc_ddio_fill_rate_per_ms", "DMA fill rate over the simulated clock, per slice", lbl,
+			func() float64 { return perMs(ev().DDIOFills) })
+		c.reg.GaugeFunc("llc_ddio_evict_unread_rate_per_ms", "Leaky-DMA eviction rate over the simulated clock, per slice", lbl,
+			func() float64 { return perMs(ev().DDIOEvictUnread) })
+	}
 }
 
 // WriteChromeTrace renders the flight recorder plus timeline annotations

@@ -10,11 +10,13 @@ import (
 // SliceSample is one heat snapshot: per-slice CBo event deltas accumulated
 // since the previous sample, stamped with the simulated clock.
 type SliceSample struct {
-	TimeNs    float64  `json:"t_ns"`
-	Lookups   []uint64 `json:"lookups"`
-	Misses    []uint64 `json:"misses"`
-	DDIOFills []uint64 `json:"ddio_fills"`
-	Evictions []uint64 `json:"evictions"`
+	TimeNs          float64  `json:"t_ns"`
+	Lookups         []uint64 `json:"lookups"`
+	Misses          []uint64 `json:"misses"`
+	DDIOFills       []uint64 `json:"ddio_fills"`
+	Evictions       []uint64 `json:"evictions"`
+	DDIOEvictUnread []uint64 `json:"ddio_evict_unread"`
+	DDIOMissedFirst []uint64 `json:"ddio_missed_first_touch"`
 }
 
 // TimelineEvent is a point annotation on the heat timeline's clock —
@@ -59,10 +61,15 @@ func NewTimeline(intervalNs float64, maxSamples int) *Timeline {
 }
 
 // Bind attaches the timeline to an LLC's counters and rebases the delta
-// baseline. Re-binding (a new DuT in the same collection) is recorded as
-// an event at the last known time.
+// baseline. Re-binding to a different LLC (a new DuT in the same
+// collection) is recorded as an event at the last known time; re-binding
+// the LLC already bound (two tenant DuTs sharing one machine) is a no-op,
+// so the shared series is neither rebased nor annotated.
 func (t *Timeline) Bind(l *llc.SlicedLLC) {
 	if t == nil {
+		return
+	}
+	if t.src == l {
 		return
 	}
 	if t.src != nil {
@@ -90,17 +97,21 @@ func (t *Timeline) Sample(nowNs float64) {
 	cur := t.src.AllEvents()
 	n := len(cur)
 	s := SliceSample{
-		TimeNs:    nowNs,
-		Lookups:   make([]uint64, n),
-		Misses:    make([]uint64, n),
-		DDIOFills: make([]uint64, n),
-		Evictions: make([]uint64, n),
+		TimeNs:          nowNs,
+		Lookups:         make([]uint64, n),
+		Misses:          make([]uint64, n),
+		DDIOFills:       make([]uint64, n),
+		Evictions:       make([]uint64, n),
+		DDIOEvictUnread: make([]uint64, n),
+		DDIOMissedFirst: make([]uint64, n),
 	}
 	for i := range cur {
 		s.Lookups[i] = cur[i].Lookups - t.prev[i].Lookups
 		s.Misses[i] = cur[i].Misses - t.prev[i].Misses
 		s.DDIOFills[i] = cur[i].DDIOFills - t.prev[i].DDIOFills
 		s.Evictions[i] = cur[i].Evictions - t.prev[i].Evictions
+		s.DDIOEvictUnread[i] = cur[i].DDIOEvictUnread - t.prev[i].DDIOEvictUnread
+		s.DDIOMissedFirst[i] = cur[i].DDIOMissedFirstTouch - t.prev[i].DDIOMissedFirstTouch
 	}
 	t.prev = cur
 	t.lastNs = nowNs
@@ -121,6 +132,8 @@ func (t *Timeline) decimate() {
 			b.Misses[j] += a.Misses[j]
 			b.DDIOFills[j] += a.DDIOFills[j]
 			b.Evictions[j] += a.Evictions[j]
+			b.DDIOEvictUnread[j] += a.DDIOEvictUnread[j]
+			b.DDIOMissedFirst[j] += a.DDIOMissedFirst[j]
 		}
 		t.samples[i] = b
 	}
@@ -172,6 +185,8 @@ func (t *Timeline) Totals() []llc.CBoEvents {
 			out[i].Misses += s.Misses[i]
 			out[i].DDIOFills += s.DDIOFills[i]
 			out[i].Evictions += s.Evictions[i]
+			out[i].DDIOEvictUnread += s.DDIOEvictUnread[i]
+			out[i].DDIOMissedFirstTouch += s.DDIOMissedFirst[i]
 		}
 	}
 	return out

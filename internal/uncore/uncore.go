@@ -24,6 +24,13 @@ const (
 	EventDDIOFills
 	// EventEvictions counts displaced lines.
 	EventEvictions
+	// EventDDIOEvictUnread counts DMA-filled lines evicted before any core
+	// read them — the "leaky DMA" producer-side signal.
+	EventDDIOEvictUnread
+	// EventDDIOMissedFirstTouch counts first-touch reads of DMA-filled
+	// lines that missed to DRAM because the line leaked — the consumer-side
+	// damage the llcmgmt controller steers on.
+	EventDDIOMissedFirstTouch
 )
 
 func (e Event) String() string {
@@ -36,6 +43,10 @@ func (e Event) String() string {
 		return "LLC_DDIO.FILL"
 	case EventEvictions:
 		return "LLC_VICTIMS.ANY"
+	case EventDDIOEvictUnread:
+		return "LLC_DDIO.EVICT_UNREAD"
+	case EventDDIOMissedFirstTouch:
+		return "LLC_DDIO.MISS_FIRST_TOUCH"
 	default:
 		return fmt.Sprintf("Event(%d)", int(e))
 	}
@@ -92,6 +103,10 @@ func pick(ev llc.CBoEvents, e Event) uint64 {
 		return ev.DDIOFills
 	case EventEvictions:
 		return ev.Evictions
+	case EventDDIOEvictUnread:
+		return ev.DDIOEvictUnread
+	case EventDDIOMissedFirstTouch:
+		return ev.DDIOMissedFirstTouch
 	default:
 		return 0
 	}
