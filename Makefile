@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench ci
+.PHONY: all build test race vet lint bench bench-json determinism ci
 
 all: build test
 
@@ -30,4 +30,24 @@ lint: vet
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
-ci: build vet race
+# Machine-readable micro-benchmark numbers for the simulator hot paths
+# (slice hash, cache insert/lookup, netsim per-packet loop, table render).
+# BENCH_5.json in the repo root is a committed snapshot of this output.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json \
+		./internal/chash/ ./internal/cachesim/ ./internal/netsim/ \
+		./internal/parallel/ ./internal/experiments/ > BENCH_5.json
+
+# Parallel determinism gate: the full quick reproduction must be
+# byte-identical at -jobs 1 and -jobs 4 (timestamps and wall-clock
+# footers filtered out).
+determinism:
+	$(GO) build -o /tmp/sliceaware-reproduce ./cmd/reproduce
+	/tmp/sliceaware-reproduce -scale quick -seed 1 -all -jobs 1 \
+		| grep -v '^# Reproduction run' | grep -Ev '^\(.* in .*\)$$' > /tmp/sliceaware-j1.txt
+	/tmp/sliceaware-reproduce -scale quick -seed 1 -all -jobs 4 \
+		| grep -v '^# Reproduction run' | grep -Ev '^\(.* in .*\)$$' > /tmp/sliceaware-j4.txt
+	cmp /tmp/sliceaware-j1.txt /tmp/sliceaware-j4.txt
+	@echo "reproduce output byte-identical at -jobs 1 and -jobs 4"
+
+ci: build vet race determinism

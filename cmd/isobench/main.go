@@ -8,7 +8,12 @@
 //
 //	isobench [-mode cat|vmm|tenant] [-ops 12000] [-noise 8] [-write]
 //	isobench -mode tenant [-hog 3] [-controller] [-full] [-seed 1]
-//	         [-metrics-out tenant.prom]
+//	         [-jobs 1] [-metrics-out tenant.prom]
+//	         [-cpuprofile F] [-memprofile F]
+//
+// -jobs fans the tenant study's independent trials (calibration runs,
+// baseline vs measured point) across workers; output is byte-identical
+// for every value. -metrics-out forces sequential execution.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"sliceaware/internal/cat"
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/experiments"
+	"sliceaware/internal/prof"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/vmm"
 )
@@ -36,8 +42,13 @@ func main() {
 	controller := flag.Bool("controller", false, "arm the isolation controller (tenant mode)")
 	full := flag.Bool("full", false, "full-scale packet counts (tenant mode; default quick)")
 	seed := flag.Int64("seed", 1, "run-wide seed (tenant mode)")
+	jobs := flag.Int("jobs", 1, "workers for independent trials (tenant mode; 0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry registry here (tenant mode; Prometheus text, .json = combined JSON)")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	check(profFlags.Start())
+	experiments.SetJobs(*jobs)
 
 	switch *mode {
 	case "cat":
@@ -50,6 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "isobench: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	check(profFlags.Stop())
 }
 
 func runCAT(ops, noise int, write bool) {

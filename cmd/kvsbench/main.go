@@ -4,7 +4,14 @@
 // Usage:
 //
 //	kvsbench [-keys 131072] [-get 1.0] [-skew 0.99|0 for uniform]
-//	         [-requests 50000] [-sliceaware] [-metrics-out m.prom]
+//	         [-requests 50000] [-sliceaware] [-trials 1] [-jobs 1]
+//	         [-metrics-out m.prom] [-cpuprofile F] [-memprofile F]
+//
+// -trials T repeats the measurement on T independent stores (trial t
+// seeds its key generator with 7+t, so trial 0 reproduces the
+// single-trial output exactly) and -jobs N fans them across N workers
+// (0 = GOMAXPROCS); per-trial results print in trial order regardless
+// of worker count. -metrics-out forces -jobs 1 (one shared registry).
 package main
 
 import (
@@ -12,11 +19,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 
 	"sliceaware/internal/arch"
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/kvs"
+	"sliceaware/internal/parallel"
+	"sliceaware/internal/prof"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/zipf"
 )
@@ -28,44 +38,94 @@ func main() {
 	requests := flag.Int("requests", 50000, "measured requests (a half-size warm-up precedes)")
 	sliceAware := flag.Bool("sliceaware", false, "home hot values/index to the serving core's slice")
 	core := flag.Int("core", 0, "serving core")
+	trials := flag.Int("trials", 1, "independent stores to measure (trial t uses generator seed 7+t)")
+	jobs := flag.Int("jobs", 1, "workers for the trials (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry here (Prometheus text; .json = combined JSON)")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
-	check(err)
-	store, err := kvs.New(m, kvs.Config{Keys: *keys, ServingCore: *core, SliceAware: *sliceAware})
-	check(err)
+	if *trials < 1 {
+		fmt.Fprintln(os.Stderr, "kvsbench: -trials must be >= 1")
+		os.Exit(2)
+	}
+	check(profFlags.Start())
+
 	var collector *telemetry.Collector
 	if *metricsOut != "" {
-		collector = telemetry.New(telemetry.Config{Shards: m.Cores()})
-		store.SetTelemetry(collector)
+		collector = telemetry.New(telemetry.Config{Shards: 8})
 	}
 
-	var gen zipf.Generator
-	rng := rand.New(rand.NewSource(7))
-	if *skew > 0 {
-		gen, err = zipf.NewZipf(rng, *keys, *skew)
-	} else {
-		gen, err = zipf.NewUniform(rng, *keys)
+	type trialResult struct {
+		res            kvs.Result
+		preferredSlice int
 	}
-	check(err)
+	runTrial := func(t int) (trialResult, error) {
+		m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+		if err != nil {
+			return trialResult{}, err
+		}
+		store, err := kvs.New(m, kvs.Config{Keys: *keys, ServingCore: *core, SliceAware: *sliceAware})
+		if err != nil {
+			return trialResult{}, err
+		}
+		if collector != nil {
+			store.SetTelemetry(collector)
+		}
+		var gen zipf.Generator
+		rng := rand.New(rand.NewSource(7 + int64(t)))
+		if *skew > 0 {
+			gen, err = zipf.NewZipf(rng, *keys, *skew)
+		} else {
+			gen, err = zipf.NewUniform(rng, *keys)
+		}
+		if err != nil {
+			return trialResult{}, err
+		}
+		if _, err := store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests / 2}); err != nil {
+			return trialResult{}, err
+		}
+		res, err := store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests})
+		if err != nil {
+			return trialResult{}, err
+		}
+		return trialResult{res: res, preferredSlice: store.PreferredSlice()}, nil
+	}
 
-	_, err = store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests / 2})
-	check(err)
-	res, err := store.Run(kvs.Workload{GetRatio: *getRatio, Keys: gen, Requests: *requests})
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if collector != nil {
+		workers = 1 // one shared registry; keep its event order sequential
+	}
+	results, err := parallel.Map(workers, *trials, runTrial)
 	check(err)
 
 	mode := "normal"
 	if *sliceAware {
-		mode = fmt.Sprintf("slice-aware (slice %d)", store.PreferredSlice())
+		mode = fmt.Sprintf("slice-aware (slice %d)", results[0].preferredSlice)
 	}
 	dist := "uniform"
 	if *skew > 0 {
 		dist = fmt.Sprintf("zipf(%.2f)", *skew)
 	}
 	fmt.Printf("KVS: %d keys, %s placement, %s keys, %.0f%% GET\n", *keys, mode, dist, *getRatio*100)
-	fmt.Printf("  %.3f M transactions/s  (%.1f cycles/request; %d GET, %d SET, %d dropped)\n",
-		res.TPSMillions, res.CyclesPerReq, res.Gets, res.Sets, res.Dropped)
+	if *trials == 1 {
+		res := results[0].res
+		fmt.Printf("  %.3f M transactions/s  (%.1f cycles/request; %d GET, %d SET, %d dropped)\n",
+			res.TPSMillions, res.CyclesPerReq, res.Gets, res.Sets, res.Dropped)
+	} else {
+		var tpsSum, cycSum float64
+		for t, r := range results {
+			fmt.Printf("  trial %d: %.3f M transactions/s  (%.1f cycles/request; %d GET, %d SET, %d dropped)\n",
+				t, r.res.TPSMillions, r.res.CyclesPerReq, r.res.Gets, r.res.Sets, r.res.Dropped)
+			tpsSum += r.res.TPSMillions
+			cycSum += r.res.CyclesPerReq
+		}
+		n := float64(*trials)
+		fmt.Printf("  mean over %d trials: %.3f M transactions/s  (%.1f cycles/request)\n",
+			*trials, tpsSum/n, cycSum/n)
+	}
 
 	if collector != nil {
 		f, err := os.Create(*metricsOut)
@@ -80,6 +140,7 @@ func main() {
 		check(f.Close())
 		fmt.Printf("  telemetry: metrics → %s\n", *metricsOut)
 	}
+	check(profFlags.Stop())
 }
 
 func check(err error) {

@@ -6,6 +6,15 @@
 //
 //	nfvbench [-chain fwd|stateful] [-steering rss|fdir] [-gbps 100]
 //	         [-pps 0] [-packets 20000] [-cachedirector] [-runs 3]
+//	         [-jobs 1] [-cpuprofile F] [-memprofile F]
+//
+// -jobs N > 1 fans the -runs repetitions across N workers, each on its
+// own freshly built replica of the configured DuT. Note the semantics
+// shift: the default sequential mode reuses one DuT whose caches stay
+// warm across runs, while parallel replicas each start cold, so pooled
+// latencies differ slightly from -jobs 1. Replica seeds and result order
+// are deterministic either way. Telemetry output forces -jobs 1 (the
+// flight recorder is single-writer).
 //
 // Chaos testing: the -fault-* flags arm the internal/faults injector
 // against the pipeline (deterministically, from -fault-seed), and
@@ -40,6 +49,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 
 	"sliceaware/internal/arch"
@@ -50,6 +60,8 @@ import (
 	"sliceaware/internal/netsim"
 	"sliceaware/internal/nfv"
 	"sliceaware/internal/overload"
+	"sliceaware/internal/parallel"
+	"sliceaware/internal/prof"
 	"sliceaware/internal/stats"
 	"sliceaware/internal/telemetry"
 	"sliceaware/internal/trace"
@@ -66,6 +78,7 @@ func main() {
 	overloadFlag := flag.Bool("overload", false, "arm overload control: AQM on RX rings + priority shedding (+ degradation ladder with -cachedirector)")
 	aqmFlag := flag.String("aqm", "codel", "AQM policy with -overload: codel, red, or none")
 	runs := flag.Int("runs", 3, "back-to-back runs (latencies pooled)")
+	jobs := flag.Int("jobs", 1, "workers for the runs; >1 gives each run a fresh cold DuT replica (0 = GOMAXPROCS)")
 	pktSize := flag.Int("size", 0, "fixed frame size; 0 = campus mix")
 	faultDrop := flag.Float64("fault-drop", 0, "wire-loss probability per frame")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "FCS-corruption probability per frame")
@@ -80,6 +93,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the packet flight recorder here (chrome://tracing JSON, one event per line)")
 	traceSample := flag.Int("trace-sample", 64, "record full stage spans for every N-th packet")
 	sliceTimeline := flag.String("slice-timeline", "", "write the per-slice LLC heat timeline here (JSON)")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	steering := dpdk.RSS
@@ -89,58 +103,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nfvbench: unknown steering %q\n", *steeringFlag)
 		os.Exit(2)
 	}
-
-	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
-	check(err)
-	port, err := dpdk.NewPort(m, dpdk.PortConfig{
-		Queues: *queues, RingSize: 1024, PoolMbufs: 4096,
-		HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: steering,
-	})
-	check(err)
-	var director *cachedirector.Director
-	if *withCD {
-		cfg := cachedirector.Config{}
-		if *mispredict > 0 {
-			wrong, err := faults.NewMispredictedHash(m.LLC.Hash(), *faultSeed, *mispredict)
-			check(err)
-			cfg.Hash = wrong
-		}
-		director, err = cachedirector.New(m, cfg)
-		check(err)
-		check(director.Attach(port))
-		if *watchdog {
-			check(director.EnableWatchdog(cachedirector.WatchdogConfig{CheckEvery: 64}))
-		}
-	} else if *mispredict > 0 || *watchdog {
-		fmt.Fprintln(os.Stderr, "nfvbench: -mispredict/-watchdog need -cachedirector")
+	if *chainKind != "fwd" && *chainKind != "stateful" {
+		fmt.Fprintf(os.Stderr, "nfvbench: unknown chain %q\n", *chainKind)
 		os.Exit(2)
 	}
-
-	var ovCfg *netsim.OverloadConfig
-	if *overloadFlag {
-		ovCfg = &netsim.OverloadConfig{Shed: &overload.ShedConfig{}}
-		switch *aqmFlag {
-		case "codel":
-			ovCfg.AQM = func(int) overload.AQM {
-				a, err := overload.NewCoDel(overload.CoDelConfig{})
-				check(err)
-				return a
-			}
-		case "red":
-			ovCfg.AQM = func(q int) overload.AQM {
-				a, err := overload.NewRED(overload.REDConfig{Seed: *faultSeed + int64(q)})
-				check(err)
-				return a
-			}
-		case "none":
-		default:
-			fmt.Fprintf(os.Stderr, "nfvbench: unknown AQM %q (want codel, red, or none)\n", *aqmFlag)
-			os.Exit(2)
-		}
-		if director != nil {
-			check(director.EnableLadder(overload.LadderConfig{}))
-			ovCfg.Pressure = director.ObservePressure
-		}
+	if *aqmFlag != "codel" && *aqmFlag != "red" && *aqmFlag != "none" {
+		fmt.Fprintf(os.Stderr, "nfvbench: unknown AQM %q (want codel, red, or none)\n", *aqmFlag)
+		os.Exit(2)
+	}
+	if !*withCD && (*mispredict > 0 || *watchdog) {
+		fmt.Fprintln(os.Stderr, "nfvbench: -mispredict/-watchdog need -cachedirector")
+		os.Exit(2)
 	}
 
 	var plan faults.Plan
@@ -161,67 +134,206 @@ func main() {
 	if *faultSlowdown > 1 {
 		addEvent(faults.CoreSlowdown, *faultSlowdownP, *faultSlowdown, -1)
 	}
-	var injector *faults.Injector
-	if len(plan.Events) > 0 {
-		injector, err = faults.NewInjector(plan)
-		check(err)
-	}
 
-	var chain *nfv.Chain
-	overhead := uint64(netsim.DefaultOverheadCycles)
-	switch *chainKind {
-	case "fwd":
-		chain, err = nfv.NewChain("fwd", nfv.NewForwarder())
-		check(err)
-	case "stateful":
-		router, rerr := nfv.NewRouter(m.Space)
-		check(rerr)
-		check(router.PopulateDefaultAndRandom(3120))
-		router.HWOffload = true
-		napt, rerr := nfv.NewNAPT(m.Space, 1<<15, 0xc0a80001)
-		check(rerr)
-		lb, rerr := nfv.NewLoadBalancer(m.Space, 1<<15, 16)
-		check(rerr)
-		chain, err = nfv.NewChain("Router-NAPT-LB", router, napt, lb)
-		check(err)
-		overhead = netsim.MetronOverheadCycles
-	default:
-		fmt.Fprintf(os.Stderr, "nfvbench: unknown chain %q\n", *chainKind)
-		os.Exit(2)
-	}
+	check(profFlags.Start())
 
 	var collector *telemetry.Collector
 	if *metricsOut != "" || *traceOut != "" || *sliceTimeline != "" {
 		collector = telemetry.New(telemetry.Config{Shards: 8, SampleEvery: *traceSample})
-		if director != nil {
-			director.SetTelemetry(collector)
-		}
 	}
 
-	dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector, Telemetry: collector, Overload: ovCfg})
-	check(err)
+	// build assembles one complete DuT for the configured flags. The
+	// sequential path builds exactly one; -jobs > 1 builds a cold replica
+	// per run.
+	build := func(col *telemetry.Collector) (*bench, error) {
+		m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+		if err != nil {
+			return nil, err
+		}
+		port, err := dpdk.NewPort(m, dpdk.PortConfig{
+			Queues: *queues, RingSize: 1024, PoolMbufs: 4096,
+			HeadroomCap: dpdk.CacheDirectorHeadroom, Steering: steering,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var director *cachedirector.Director
+		if *withCD {
+			cfg := cachedirector.Config{}
+			if *mispredict > 0 {
+				wrong, err := faults.NewMispredictedHash(m.LLC.Hash(), *faultSeed, *mispredict)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Hash = wrong
+			}
+			director, err = cachedirector.New(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := director.Attach(port); err != nil {
+				return nil, err
+			}
+			if *watchdog {
+				if err := director.EnableWatchdog(cachedirector.WatchdogConfig{CheckEvery: 64}); err != nil {
+					return nil, err
+				}
+			}
+			if col != nil {
+				director.SetTelemetry(col)
+			}
+		}
+		var ovCfg *netsim.OverloadConfig
+		if *overloadFlag {
+			ovCfg = &netsim.OverloadConfig{Shed: &overload.ShedConfig{}}
+			switch *aqmFlag {
+			case "codel":
+				ovCfg.AQM = func(int) overload.AQM {
+					a, err := overload.NewCoDel(overload.CoDelConfig{})
+					check(err) // defaults never fail
+					return a
+				}
+			case "red":
+				ovCfg.AQM = func(q int) overload.AQM {
+					a, err := overload.NewRED(overload.REDConfig{Seed: *faultSeed + int64(q)})
+					check(err) // defaults never fail
+					return a
+				}
+			}
+			if director != nil {
+				if err := director.EnableLadder(overload.LadderConfig{}); err != nil {
+					return nil, err
+				}
+				ovCfg.Pressure = director.ObservePressure
+			}
+		}
+		var injector *faults.Injector
+		if len(plan.Events) > 0 {
+			injector, err = faults.NewInjector(plan)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var chain *nfv.Chain
+		overhead := uint64(netsim.DefaultOverheadCycles)
+		switch *chainKind {
+		case "fwd":
+			chain, err = nfv.NewChain("fwd", nfv.NewForwarder())
+		case "stateful":
+			router, rerr := nfv.NewRouter(m.Space)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if rerr := router.PopulateDefaultAndRandom(3120); rerr != nil {
+				return nil, rerr
+			}
+			router.HWOffload = true
+			napt, rerr := nfv.NewNAPT(m.Space, 1<<15, 0xc0a80001)
+			if rerr != nil {
+				return nil, rerr
+			}
+			lb, rerr := nfv.NewLoadBalancer(m.Space, 1<<15, 16)
+			if rerr != nil {
+				return nil, rerr
+			}
+			chain, err = nfv.NewChain("Router-NAPT-LB", router, napt, lb)
+			overhead = netsim.MetronOverheadCycles
+		}
+		if err != nil {
+			return nil, err
+		}
+		dut, err := netsim.NewDuT(netsim.DuTConfig{Machine: m, Port: port, Chain: chain, OverheadCycles: overhead, Faults: injector, Telemetry: col, Overload: ovCfg})
+		if err != nil {
+			return nil, err
+		}
+		return &bench{dut: dut, director: director, injector: injector}, nil
+	}
 
-	var lat []float64
-	var achieved []float64
-	var dropped, shed uint64
-	var shedByClass []uint64
-	var drops dpdk.PortStats
-	for r := 0; r < *runs; r++ {
+	// runOne drives run r on b and resets it (caches stay warm) for the
+	// next run. The per-run generator seed is fixed, so results do not
+	// depend on which worker ran which replica.
+	runOne := func(b *bench, r int) (netsim.Result, error) {
 		var gen trace.Generator
+		var err error
 		rng := rand.New(rand.NewSource(int64(1000 + r)))
 		if *pktSize > 0 {
 			gen, err = trace.NewFixedSize(rng, *pktSize, 1024)
 		} else {
 			gen, err = trace.NewCampusMix(rng, 4096)
 		}
-		check(err)
+		if err != nil {
+			return netsim.Result{}, err
+		}
 		var out netsim.Result
 		if *pps > 0 {
-			out, err = netsim.RunPPS(dut, gen, *packets, *pps)
+			out, err = netsim.RunPPS(b.dut, gen, *packets, *pps)
 		} else {
-			out, err = netsim.RunRate(dut, gen, *packets, *gbps)
+			out, err = netsim.RunRate(b.dut, gen, *packets, *gbps)
 		}
+		if err != nil {
+			return netsim.Result{}, err
+		}
+		b.dut.Reset()
+		b.dut.Port().ResetStats()
+		return out, nil
+	}
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if collector != nil {
+		workers = 1 // the flight recorder/timeline are single-writer
+	}
+
+	var director *cachedirector.Director
+	var injector *faults.Injector
+	var faultCounts faults.Counts
+	var outs []netsim.Result
+	if workers <= 1 {
+		b, err := build(collector)
 		check(err)
+		director, injector = b.director, b.injector
+		for r := 0; r < *runs; r++ {
+			out, err := runOne(b, r)
+			check(err)
+			outs = append(outs, out)
+		}
+		if injector != nil {
+			faultCounts = injector.Counts()
+		}
+	} else {
+		// One cold replica per run; results collect in run order, so the
+		// output is deterministic for every worker count.
+		benches := make([]*bench, *runs)
+		var err error
+		outs, err = parallel.Map(workers, *runs, func(r int) (netsim.Result, error) {
+			b, err := build(nil)
+			if err != nil {
+				return netsim.Result{}, err
+			}
+			benches[r] = b
+			return runOne(b, r)
+		})
+		check(err)
+		for _, b := range benches {
+			if b.injector != nil {
+				faultCounts.Add(b.injector.Counts())
+			}
+		}
+		// Mode/ladder/watchdog summaries come from the last replica — the
+		// deepest-numbered run, matching the sequential tool's "state at
+		// exit" reading.
+		last := benches[*runs-1]
+		director, injector = last.director, last.injector
+	}
+
+	var lat []float64
+	var achieved []float64
+	var dropped, shed uint64
+	var shedByClass []uint64
+	var drops dpdk.PortStats
+	for _, out := range outs {
 		lat = append(lat, out.LatenciesNs...)
 		achieved = append(achieved, out.AchievedGbps)
 		dropped += out.Dropped
@@ -239,8 +351,6 @@ func main() {
 		drops.RxDropWire += out.DropBreakdown.RxDropWire
 		drops.RxDropCorrupt += out.DropBreakdown.RxDropCorrupt
 		drops.RxDropAQM += out.DropBreakdown.RxDropAQM
-		dut.Reset()
-		dut.Port().ResetStats()
 	}
 
 	s := stats.Summarize(lat)
@@ -248,13 +358,17 @@ func main() {
 	if *withCD {
 		cd = " + CacheDirector"
 	}
-	fmt.Printf("%s (%s steering)%s — %d runs × %d packets\n", chain.Name(), steering, cd, *runs, *packets)
+	chainName := "fwd"
+	if *chainKind == "stateful" {
+		chainName = "Router-NAPT-LB"
+	}
+	fmt.Printf("%s (%s steering)%s — %d runs × %d packets\n", chainName, steering, cd, *runs, *packets)
 	fmt.Printf("  throughput (median): %.2f Gbps, dropped %d\n", stats.Percentile(achieved, 50), dropped)
 	fmt.Printf("  DuT latency (ns): p50=%.0f p75=%.0f p90=%.0f p95=%.0f p99=%.0f mean=%.0f max=%.0f\n",
 		s.P50, s.P75, s.P90, s.P95, s.P99, s.Mean, s.Max)
 	fmt.Printf("  min loopback at this rate: %.0f ns (excluded above)\n", netsim.MinLoopbackNanos(*gbps))
 	if injector != nil {
-		c := injector.Counts()
+		c := faultCounts
 		fmt.Printf("  injected faults: %d (wire %d, fcs %d, ring %d, pool %d, slowed %d, truncated %d)\n",
 			c.Total(), c.NICDrops, c.NICCorrupts, c.RingOverflows, c.MempoolFails, c.SlowedPackets, c.TruncatedBursts)
 		fmt.Printf("  drop breakdown: ring %d, pool %d, wire %d, corrupt %d\n",
@@ -294,6 +408,14 @@ func main() {
 			fmt.Printf("  telemetry: slice heat timeline → %s\n", *sliceTimeline)
 		}
 	}
+	check(profFlags.Stop())
+}
+
+// bench is one fully assembled DuT replica.
+type bench struct {
+	dut      *netsim.DuT
+	director *cachedirector.Director
+	injector *faults.Injector
 }
 
 // writeTo renders through fn into path, creating/truncating it.

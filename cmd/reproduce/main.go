@@ -4,13 +4,19 @@
 // Usage:
 //
 //	reproduce [-scale quick|full] [-seed N] [-only T1,F4,F5,...] [-all]
-//	          [-metrics-dir DIR]
+//	          [-jobs N] [-metrics-dir DIR] [-cpuprofile F] [-memprofile F]
+//
+// -jobs fans each figure's independent trials across N workers (0 =
+// GOMAXPROCS). Trials derive their randomness from fixed per-stream
+// seeds and results are collected in trial order, so the printed tables
+// are byte-identical for every -jobs value.
 //
 // -metrics-dir arms telemetry on every experiment DuT and dumps one
 // Prometheus text file per figure (DIR/<id>.prom) plus the figure's
 // slice heat timeline (DIR/<id>.timeline.json). Telemetry is
 // observation-only: the printed tables are byte-identical with and
-// without it.
+// without it. An armed collector forces -jobs down to 1 (its timeline
+// is single-writer).
 //
 // Paper artifacts: T1 F4 F5 F6 F7 F8 HR F12 F13 F14 T3 F15 F16 T4 F17
 // (T3 is derived from F13+F14 and runs them if not already selected).
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"sliceaware/internal/experiments"
+	"sliceaware/internal/prof"
 	"sliceaware/internal/telemetry"
 )
 
@@ -55,10 +62,17 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all paper artifacts)")
 	allFlag := flag.Bool("all", false, "also run ablations and extensions (A-*, S*)")
 	seedFlag := flag.Int64("seed", 1, "run-wide seed; same seed reproduces the same numbers")
+	jobsFlag := flag.Int("jobs", 1, "workers for independent trials (0 = GOMAXPROCS); output is byte-identical for any value")
 	metricsDir := flag.String("metrics-dir", "", "dump per-figure telemetry (Prometheus text + slice timeline JSON) into this directory")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	experiments.SetSeed(*seedFlag)
+	experiments.SetJobs(*jobsFlag)
+	if err := profFlags.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -222,5 +236,13 @@ func main() {
 	})
 	showExt("F-TENANT", func() (*experiments.Table, error) { _, t, err := experiments.FigTenant(scale); return t, err })
 
+	// Stop explicitly: os.Exit skips defers, and the CPU profile is only
+	// valid once StopCPUProfile has flushed it.
+	if err := profFlags.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
 	os.Exit(exit)
 }

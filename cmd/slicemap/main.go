@@ -6,6 +6,7 @@
 // Usage:
 //
 //	slicemap [-cpu haswell|skylake] [-addr 0x12340] [-lines 16] [-recover]
+//	         [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"sliceaware/internal/chash"
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/interconnect"
+	"sliceaware/internal/prof"
 	"sliceaware/internal/reveng"
 )
 
@@ -26,26 +28,32 @@ func main() {
 	addr := flag.Uint64("addr", 1<<30, "physical address to poll")
 	lines := flag.Int("lines", 16, "consecutive lines to map from -addr")
 	doRecover := flag.Bool("recover", false, "reverse-engineer the full hash matrix (haswell only)")
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	var prof *arch.Profile
+	var profile *arch.Profile
 	switch *cpu {
 	case "haswell":
-		prof = arch.HaswellE52667v3()
+		profile = arch.HaswellE52667v3()
 	case "skylake":
-		prof = arch.SkylakeGold6134()
+		profile = arch.SkylakeGold6134()
 	default:
 		fmt.Fprintf(os.Stderr, "slicemap: unknown cpu %q\n", *cpu)
 		os.Exit(2)
 	}
+	if err := profFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "slicemap:", err)
+		os.Exit(1)
+	}
+	defer profFlags.Stop()
 
-	m, err := cpusim.NewMachine(prof)
+	m, err := cpusim.NewMachine(profile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slicemap:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s — %d cores, %d LLC slices (%s interconnect, %s LLC)\n\n",
-		prof.Name, prof.Cores, prof.Slices, prof.Interconnect, prof.LLCMode)
+		profile.Name, profile.Cores, profile.Slices, profile.Interconnect, profile.LLCMode)
 
 	prober := reveng.NewProber(m, 0)
 	prober.SetPolls(8)
@@ -63,13 +71,13 @@ func main() {
 
 	fmt.Println("Access-latency penalty (cycles over LLC base) per core × slice:")
 	fmt.Print("        ")
-	for s := 0; s < prof.Slices; s++ {
+	for s := 0; s < profile.Slices; s++ {
 		fmt.Printf("S%-3d", s)
 	}
 	fmt.Println()
-	for c := 0; c < prof.Cores; c++ {
+	for c := 0; c < profile.Cores; c++ {
 		fmt.Printf("  C%-4d ", c)
-		for s := 0; s < prof.Slices; s++ {
+		for s := 0; s < profile.Slices; s++ {
 			fmt.Printf("%-4d", m.Topo.Penalty(c, s))
 		}
 		fmt.Println()
@@ -88,18 +96,18 @@ func main() {
 	fmt.Println()
 
 	if *doRecover {
-		if !prof.PowerOfTwoSlices {
+		if !profile.PowerOfTwoSlices {
 			fmt.Println("hash recovery: skipped — the matrix construction of §2.1 needs 2ⁿ slices")
 			return
 		}
-		big, err := cpusim.NewMachineWithHashAndMemory(prof, m.LLC.Hash(), 512<<30)
+		big, err := cpusim.NewMachineWithHashAndMemory(profile, m.LLC.Hash(), 512<<30)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "slicemap:", err)
 			os.Exit(1)
 		}
 		p2 := reveng.NewProber(big, 0)
 		p2.SetPolls(8)
-		rec, err := reveng.RecoverXORHash(p2, prof.Slices, chash.AddressBits, rand.New(rand.NewSource(1)))
+		rec, err := reveng.RecoverXORHash(p2, profile.Slices, chash.AddressBits, rand.New(rand.NewSource(1)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "slicemap: recovery failed:", err)
 			os.Exit(1)

@@ -159,21 +159,27 @@ func (c *Cache) Insert(line uint64, dirty bool, mask WayMask) Victim {
 
 	c.stats.Insertions++
 
-	allowed := c.allowedWays(mask)
-	// Prefer an invalid allowed way.
+	// Insert runs on every miss of every simulated cache level, so the way
+	// scan iterates the mask bits in place instead of materializing a []int
+	// of allowed ways (which was one heap allocation per insertion). An
+	// empty in-range mask degenerates to all ways so a misconfigured CAT
+	// class cannot wedge the cache.
+	eff := c.effectiveMask(mask)
+	// Prefer an invalid allowed way (lowest index first — TrailingZeros
+	// walks the mask in ascending way order).
 	victimWay := -1
-	for _, w := range allowed {
-		if !set[w].valid {
+	for m := eff; m != 0; m &= m - 1 {
+		if w := bits.TrailingZeros64(m); !set[w].valid {
 			victimWay = w
 			break
 		}
 	}
 	var v Victim
 	if victimWay < 0 {
-		// Evict the LRU entry among allowed ways.
-		victimWay = allowed[0]
-		for _, w := range allowed[1:] {
-			if set[w].age < set[victimWay].age {
+		// Evict the LRU entry among allowed ways (earliest index wins ties).
+		for m := eff; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if victimWay < 0 || set[w].age < set[victimWay].age {
 				victimWay = w
 			}
 		}
@@ -189,28 +195,17 @@ func (c *Cache) Insert(line uint64, dirty bool, mask WayMask) Victim {
 	return v
 }
 
-// allowedWays expands a mask into way indices; an empty mask degenerates to
-// all ways so a misconfigured CAT class cannot wedge the cache.
-func (c *Cache) allowedWays(mask WayMask) []int {
-	if mask == AllWays {
-		ws := make([]int, c.ways)
-		for i := range ws {
-			ws[i] = i
-		}
-		return ws
+// effectiveMask clips a WayMask to the cache's geometry; an empty result
+// degenerates to all ways.
+func (c *Cache) effectiveMask(mask WayMask) uint64 {
+	all := ^uint64(0)
+	if c.ways < 64 {
+		all = 1<<uint(c.ways) - 1
 	}
-	ws := make([]int, 0, bits.OnesCount64(uint64(mask)))
-	for w := 0; w < c.ways; w++ {
-		if mask&(1<<uint(w)) != 0 {
-			ws = append(ws, w)
-		}
+	if eff := uint64(mask) & all; eff != 0 {
+		return eff
 	}
-	if len(ws) == 0 {
-		for w := 0; w < c.ways; w++ {
-			ws = append(ws, w)
-		}
-	}
-	return ws
+	return all
 }
 
 // Invalidate removes a line if present, reporting whether it was there and
@@ -260,7 +255,7 @@ func (c *Cache) Lines() []uint64 {
 
 // MaskLen returns the number of valid lines resident in the ways permitted
 // by mask, across all sets — the occupancy of a CAT/DDIO partition. An
-// empty mask degenerates to all ways, matching allowedWays.
+// empty mask degenerates to all ways, matching Insert's effectiveMask.
 func (c *Cache) MaskLen(mask WayMask) int {
 	if mask == AllWays || mask == 0 {
 		return c.occupied

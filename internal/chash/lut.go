@@ -1,0 +1,103 @@
+package chash
+
+// SliceLUT is a precomputed-table accelerator for a Hash. The simulator
+// consults the slice mapping on every LLC access, DMA fill, and victim
+// write-back, so the per-call cost of XORHash.Slice's mask-and-popcount
+// loop is a measurable share of a full-scale run. The LUT folds each
+// output's parity into five 256-entry byte tables: a lookup XORs one
+// table entry per address byte — straight-line code, no loop, no
+// popcount — and agrees with the wrapped hash on every address (pinned
+// by the property test in lut_test.go).
+//
+// Both hash families reduce to the same tables. For XORHash the XOR of
+// the five entries IS the slice index (output i's parity lands in bit i).
+// For GeneralizedHash the entries carry the five fold parities, which
+// feed the unchanged splitmix64-style finisher. Hash implementations the
+// LUT does not know (e.g. the fault injector's mispredicted wrapper)
+// fall back to the wrapped Slice method, so callers can accelerate any
+// Hash unconditionally.
+//
+// A SliceLUT is immutable after construction and therefore safe for
+// concurrent readers — the property the parallel experiment engine
+// relies on when trials share one machine profile's hash tables.
+type SliceLUT struct {
+	t0, t1, t2, t3, t4 [256]uint8
+
+	gen      uint64 // slice count for the generalized finisher; 0 = XOR hash
+	fallback Hash   // non-nil: unknown Hash type, delegate
+	nslices  int
+}
+
+var _ Hash = (*SliceLUT)(nil)
+
+// NewSliceLUT builds the lookup tables for h. Any Hash is accepted;
+// unknown implementations (or XOR hashes with more than 8 outputs) are
+// wrapped and delegated to, so the result always behaves exactly like h.
+func NewSliceLUT(h Hash) *SliceLUT {
+	l := &SliceLUT{nslices: h.Slices()}
+	var masks []uint64
+	switch h := h.(type) {
+	case *XORHash:
+		if len(h.Masks) > 8 {
+			l.fallback = h
+			return l
+		}
+		masks = h.Masks
+	case *GeneralizedHash:
+		masks = h.fold
+		l.gen = uint64(h.NumSlices)
+	case *SliceLUT:
+		*l = *h
+		return l
+	default:
+		l.fallback = h
+		return l
+	}
+	for i, m := range masks {
+		fillParity(&l.t0, byte(m), i)
+		fillParity(&l.t1, byte(m>>8), i)
+		fillParity(&l.t2, byte(m>>16), i)
+		fillParity(&l.t3, byte(m>>24), i)
+		fillParity(&l.t4, byte(m>>32), i)
+	}
+	return l
+}
+
+// fillParity XORs parity(b & maskByte) into bit out of every table entry.
+func fillParity(t *[256]uint8, maskByte byte, out int) {
+	for b := 0; b < 256; b++ {
+		p := popcount8(byte(b)&maskByte) & 1
+		t[b] ^= p << uint(out)
+	}
+}
+
+func popcount8(b byte) uint8 {
+	var n uint8
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Slice implements Hash.
+func (l *SliceLUT) Slice(pa uint64) int {
+	if l.fallback != nil {
+		return l.fallback.Slice(pa)
+	}
+	p := l.t0[pa&0xff] ^ l.t1[pa>>8&0xff] ^ l.t2[pa>>16&0xff] ^ l.t3[pa>>24&0xff] ^ l.t4[pa>>32&0xff]
+	if l.gen == 0 {
+		return int(p)
+	}
+	// The generalized finisher, unchanged from GeneralizedHash.Slice: the
+	// five fold parities land in bits 48+i of the line number, then the
+	// splitmix64-style mixer and the modular reduction.
+	v := (pa >> 6) | uint64(p)<<48
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v % l.gen)
+}
+
+// Slices implements Hash.
+func (l *SliceLUT) Slices() int { return l.nslices }

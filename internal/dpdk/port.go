@@ -441,6 +441,12 @@ func (p *Port) RxBurst(q, max int) []*Mbuf {
 	return p.rx[q].DequeueBurst(p.faults.TruncateBurst(max))
 }
 
+// RxBurstInto is RxBurst appending into dst, so a poll loop can reuse one
+// scratch buffer instead of allocating a slice per burst.
+func (p *Port) RxBurstInto(q, max int, dst []*Mbuf) []*Mbuf {
+	return p.rx[q].DequeueBurstAppend(dst, p.faults.TruncateBurst(max))
+}
+
 // RxQueueLen reports the RX ring occupancy of queue q.
 func (p *Port) RxQueueLen(q int) int { return p.rx[q].Len() }
 

@@ -84,9 +84,17 @@ func (r *Ring) DequeueBurst(max int) []*Mbuf {
 	if max <= 0 {
 		return nil
 	}
-	out := make([]*Mbuf, 0, max)
-	for i := 0; i < max; i++ {
-		out = append(out, r.Dequeue())
+	return r.DequeueBurstAppend(make([]*Mbuf, 0, max), max)
+}
+
+// DequeueBurstAppend removes up to max mbufs, appending them to dst so a
+// PMD poll loop can reuse one scratch buffer across bursts.
+func (r *Ring) DequeueBurstAppend(dst []*Mbuf, max int) []*Mbuf {
+	if max > r.n {
+		max = r.n
 	}
-	return out
+	for i := 0; i < max; i++ {
+		dst = append(dst, r.Dequeue())
+	}
+	return dst
 }

@@ -52,6 +52,7 @@ type Table struct {
 func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Header))
+	maxPad := 0
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
@@ -62,16 +63,33 @@ func (t *Table) Fprint(w io.Writer) {
 			}
 		}
 	}
+	for _, wd := range widths {
+		if wd > maxPad {
+			maxPad = wd
+		}
+	}
+	// One shared run of spaces covers every cell's padding, and rows render
+	// into one reused byte buffer — the previous implementation called
+	// strings.Repeat per cell plus a []string+Join per row, which dominated
+	// allocation counts when cmd/reproduce prints the full table set.
+	spaces := strings.Repeat(" ", maxPad)
+	buf := make([]byte, 0, 128)
 	printRow := func(cells []string) {
-		parts := make([]string, len(cells))
+		buf = buf[:0]
 		for i, c := range cells {
-			if i < len(widths) {
-				parts[i] = pad(c, widths[i])
-			} else {
-				parts[i] = c
+			if i > 0 {
+				buf = append(buf, ' ', ' ')
+			}
+			buf = append(buf, c...)
+			if i < len(widths) && len(c) < widths[i] {
+				buf = append(buf, spaces[:widths[i]-len(c)]...)
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		for len(buf) > 0 && buf[len(buf)-1] == ' ' {
+			buf = buf[:len(buf)-1]
+		}
+		buf = append(buf, '\n')
+		w.Write(buf)
 	}
 	printRow(t.Header)
 	for _, row := range t.Rows {
@@ -87,13 +105,6 @@ func (t *Table) String() string {
 	var b strings.Builder
 	t.Fprint(&b)
 	return b.String()
-}
-
-func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
-	}
-	return s + strings.Repeat(" ", w-len(s))
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

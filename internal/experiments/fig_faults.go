@@ -123,19 +123,21 @@ func FigFaults(scale Scale) ([]FigFaultsPoint, *Table, error) {
 		{label: "NIC+core chaos, director on", withCD: true, plan: chaos},
 	}
 
-	var out []FigFaultsPoint
-	for _, c := range cases {
+	// Each case is a self-contained trial (fresh machine, fresh generator
+	// from its fixed rng stream), so the chaos rows fan out across workers.
+	out, err := runTrials("F-FAULTS", len(cases), func(trial int) (FigFaultsPoint, error) {
+		c := cases[trial]
 		dut, dir, err := buildFaultsDuT(c, hashSeed)
 		if err != nil {
-			return nil, nil, err
+			return FigFaultsPoint{}, err
 		}
 		g, err := trace.NewCampusMix(rng(72), 4096)
 		if err != nil {
-			return nil, nil, err
+			return FigFaultsPoint{}, err
 		}
 		res, err := netsim.RunRate(dut, g, count, 100)
 		if err != nil {
-			return nil, nil, err
+			return FigFaultsPoint{}, err
 		}
 		p := FigFaultsPoint{
 			Label:          c.label,
@@ -150,7 +152,10 @@ func FigFaults(scale Scale) ([]FigFaultsPoint, *Table, error) {
 			p.Mode = dir.Mode()
 			p.WatchdogStats = dir.WatchdogStats()
 		}
-		out = append(out, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	t := &Table{

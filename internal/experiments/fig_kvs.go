@@ -51,37 +51,51 @@ func Figure8(scale Scale) (*KVSResult, *Table, error) {
 
 	res := &KVSResult{Keys: keys}
 	ratios := []float64{1.0, 0.95, 0.5}
+	type cellCfg struct {
+		skewed, sliceAware bool
+		ratio              float64
+	}
+	var cfgs []cellCfg
 	for _, skewed := range []bool{true, false} {
 		for _, sliceAware := range []bool{true, false} {
 			for _, ratio := range ratios {
-				// Fresh machine per cell so no configuration inherits
-				// another's cache state.
-				m, err := cpusim.NewMachine(arch.HaswellE52667v3())
-				if err != nil {
-					return nil, nil, err
-				}
-				store, err := kvs.New(m, kvs.Config{Keys: keys, ServingCore: 0, SliceAware: sliceAware})
-				if err != nil {
-					return nil, nil, err
-				}
-				gen, err := newKeyGen(skewed, keys)
-				if err != nil {
-					return nil, nil, err
-				}
-				if _, err := store.Run(kvs.Workload{GetRatio: ratio, Keys: gen, Requests: warm}); err != nil {
-					return nil, nil, err
-				}
-				r, err := store.Run(kvs.Workload{GetRatio: ratio, Keys: gen, Requests: requests})
-				if err != nil {
-					return nil, nil, err
-				}
-				res.Cells = append(res.Cells, KVSCell{
-					GetRatio: ratio, Skewed: skewed, SliceAware: sliceAware,
-					TPSMillions: r.TPSMillions, CyclesPerReq: r.CyclesPerReq,
-				})
+				cfgs = append(cfgs, cellCfg{skewed, sliceAware, ratio})
 			}
 		}
 	}
+	// Every cell gets a fresh machine, store and key generator (so no
+	// configuration inherits another's cache state), which also makes the
+	// twelve cells independent trials for the worker pool.
+	cells, err := runTrials("F8", len(cfgs), func(trial int) (KVSCell, error) {
+		cfg := cfgs[trial]
+		m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+		if err != nil {
+			return KVSCell{}, err
+		}
+		store, err := kvs.New(m, kvs.Config{Keys: keys, ServingCore: 0, SliceAware: cfg.sliceAware})
+		if err != nil {
+			return KVSCell{}, err
+		}
+		gen, err := newKeyGen(cfg.skewed, keys)
+		if err != nil {
+			return KVSCell{}, err
+		}
+		if _, err := store.Run(kvs.Workload{GetRatio: cfg.ratio, Keys: gen, Requests: warm}); err != nil {
+			return KVSCell{}, err
+		}
+		r, err := store.Run(kvs.Workload{GetRatio: cfg.ratio, Keys: gen, Requests: requests})
+		if err != nil {
+			return KVSCell{}, err
+		}
+		return KVSCell{
+			GetRatio: cfg.ratio, Skewed: cfg.skewed, SliceAware: cfg.sliceAware,
+			TPSMillions: r.TPSMillions, CyclesPerReq: r.CyclesPerReq,
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Cells = cells
 
 	t := &Table{
 		ID:     "F8",

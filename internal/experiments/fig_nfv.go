@@ -123,16 +123,25 @@ func (r *NFVLatencyResult) Summaries() (base, cd stats.Summary) {
 // `count` packets per side, pooling latencies.
 func latencyCompare(kind ChainKind, steering dpdk.Steering, runs, count int, offeredGbps, pps float64, gen func(seed int64) (trace.Generator, error)) (*NFVLatencyResult, error) {
 	res := &NFVLatencyResult{Kind: kind, Steering: steering, Runs: runs}
-	for _, withCD := range []bool{false, true} {
+	// The back-to-back runs within one side share a DuT on purpose (Reset
+	// keeps the caches warm), so a side is inherently sequential; the two
+	// sides are independent machines and make a two-trial fan-out.
+	type side struct {
+		lat  []float64
+		gbps float64
+	}
+	sides, err := runTrials("F-NFV/"+kind.String(), 2, func(trial int) (side, error) {
+		withCD := trial == 1
 		setup, err := buildNFV(kind, withCD, steering)
 		if err != nil {
-			return nil, err
+			return side{}, err
 		}
+		var s side
 		var gbps []float64
 		for r := 0; r < runs; r++ {
 			g, err := gen(int64(100 + r))
 			if err != nil {
-				return nil, err
+				return side{}, err
 			}
 			var out netsim.Result
 			if pps > 0 {
@@ -141,24 +150,21 @@ func latencyCompare(kind ChainKind, steering dpdk.Steering, runs, count int, off
 				out, err = netsim.RunRate(setup.dut, g, count, offeredGbps)
 			}
 			if err != nil {
-				return nil, err
+				return side{}, err
 			}
-			if withCD {
-				res.CDLat = append(res.CDLat, out.LatenciesNs...)
-			} else {
-				res.BaseLat = append(res.BaseLat, out.LatenciesNs...)
-			}
+			s.lat = append(s.lat, out.LatenciesNs...)
 			gbps = append(gbps, out.AchievedGbps)
 			setup.dut.Reset()
 			setup.dut.Port().ResetStats()
 		}
-		med := stats.Percentile(gbps, 50)
-		if withCD {
-			res.CDGbps = med
-		} else {
-			res.BaseGbps = med
-		}
+		s.gbps = stats.Percentile(gbps, 50)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.BaseLat, res.BaseGbps = sides[0].lat, sides[0].gbps
+	res.CDLat, res.CDGbps = sides[1].lat, sides[1].gbps
 	return res, nil
 }
 
@@ -362,30 +368,37 @@ func Figure15(scale Scale) (*KneeResult, *Table, error) {
 	}
 	count := scale.pick(8000, 40000)
 
-	res := &KneeResult{}
-	for _, withCD := range []bool{false, true} {
-		setup, err := buildNFV(StatefulChain, withCD, dpdk.FlowDirector)
+	// As in latencyCompare, the rate sweep within one side reuses a DuT
+	// warm across points; the two sides fan out as independent trials.
+	sides, err := runTrials("F15", 2, func(trial int) ([]float64, error) {
+		setup, err := buildNFV(StatefulChain, trial == 1, dpdk.FlowDirector)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		p99s := make([]float64, len(rates))
 		for i, rate := range rates {
 			g, err := trace.NewCampusMix(rng(int64(300+i)), 4096)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			out, err := netsim.RunRate(setup.dut, g, count, rate)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
-			p99 := (stats.Percentile(out.LatenciesNs, 99) + netsim.MinLoopbackNanos(rate)) / 1000
-			if withCD {
-				res.Points[i].CDP99Us = p99
-			} else {
-				res.Points = append(res.Points, KneePoint{OfferedGbps: rate, BaseP99Us: p99})
-			}
+			p99s[i] = (stats.Percentile(out.LatenciesNs, 99) + netsim.MinLoopbackNanos(rate)) / 1000
 			setup.dut.Reset()
 			setup.dut.Port().ResetStats()
 		}
+		return p99s, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &KneeResult{}
+	for i, rate := range rates {
+		res.Points = append(res.Points, KneePoint{
+			OfferedGbps: rate, BaseP99Us: sides[0][i], CDP99Us: sides[1][i],
+		})
 	}
 
 	xs := make([]float64, len(res.Points))
@@ -396,7 +409,6 @@ func Figure15(scale Scale) (*KneeResult, *Table, error) {
 		bys[i] = p.BaseP99Us
 		cys[i] = p.CDP99Us
 	}
-	var err error
 	res.BaseFit, err = stats.FitPiecewise(xs, bys, 37)
 	if err != nil {
 		return nil, nil, err

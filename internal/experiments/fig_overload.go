@@ -207,33 +207,42 @@ func FigOverload(scale Scale) ([]FigOverloadPoint, *Table, error) {
 		{label: "codel+shed, slice-oblivious", factor: 3.0, aqm: "codel", shed: true},
 	}
 
-	var out []FigOverloadPoint
-	for _, c := range cases {
+	// Each case owns a fresh DuT, so the sweep fans out across workers. A
+	// trial may yield two points: the deepest AQM-only row doubles as the
+	// recovery study — it is the one that drives pressure high enough to
+	// escalate the ladder (the shedder, when armed, relieves the queue
+	// before pressure builds). Load then subsides to 0.4×C on the same DuT
+	// (a within-trial dependency, so it stays inside the trial), and the
+	// ladder must walk back to full slice-aware placement.
+	points, err := runTrials("F-OVERLOAD", len(cases), func(trial int) ([]FigOverloadPoint, error) {
+		c := cases[trial]
 		dut, dir, err := buildOverloadCase(c, redSeed)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		p, err := overloadPoint(c, dut, dir, count, c.factor*capacity, capacity)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		out = append(out, p)
-
-		// The deepest AQM-only row doubles as the recovery study: it is the
-		// one that drives pressure high enough to escalate the ladder (the
-		// shedder, when armed, relieves the queue before pressure builds).
-		// Load then subsides to 0.4×C on the same DuT, and the ladder must
-		// walk back to full slice-aware placement.
+		ps := []FigOverloadPoint{p}
 		if c.sliceAware && c.aqm == "codel" && !c.shed && c.factor == 3.0 {
 			dut.Reset()
 			rc := c
 			rc.label = "codel, recovery"
 			rp, err := overloadPoint(rc, dut, dir, count, 0.4*capacity, capacity)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
-			out = append(out, rp)
+			ps = append(ps, rp)
 		}
+		return ps, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []FigOverloadPoint
+	for _, ps := range points {
+		out = append(out, ps...)
 	}
 
 	t := &Table{
@@ -354,13 +363,14 @@ func OverloadBreakerStorm(scale Scale) (*Table, error) {
 			"trips", "recoveries", "post-storm migrated",
 		},
 	}
-	for _, withBreaker := range []bool{false, true} {
-		r, err := row(withBreaker)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, r)
+	// The two policies are independent stores; run them as trials.
+	rows, err := runTrials("F-OVERLOAD/B", 2, func(trial int) ([]string, error) {
+		return row(trial == 1)
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"without the breaker every candidate key burns its full exponential-backoff budget against the storm; with it the pass fails fast after one window of losses",
 		"after the storm a half-open trial recloses the breaker and the same pass migrates normally")

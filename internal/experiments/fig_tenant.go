@@ -198,20 +198,26 @@ func tenantCalibrate(scale Scale) (*tenantRun, error) {
 	r := &tenantRun{victimCount: scale.pick(6000, 20000)}
 	victimBits := float64(r.victimCount * tenantVictimFrameSize * 8)
 
-	calV, err := trace.NewFixedSize(rng(97), tenantVictimFrameSize, 4096)
+	// The two solo-capacity measurements run on independent fresh machines
+	// with their own rng streams, so they make a two-trial fan-out.
+	caps, err := runTrials("F-TENANT/cal", 2, func(trial int) (float64, error) {
+		if trial == 0 {
+			calV, err := trace.NewFixedSize(rng(97), tenantVictimFrameSize, 4096)
+			if err != nil {
+				return 0, err
+			}
+			return tenantCapacity(true, calV, r.victimCount)
+		}
+		calH, err := trace.NewFixedSize(rng(99), tenantHogFrameSize, 4096)
+		if err != nil {
+			return 0, err
+		}
+		return tenantCapacity(false, calH, r.victimCount)
+	})
 	if err != nil {
 		return nil, err
 	}
-	if r.victimCap, err = tenantCapacity(true, calV, r.victimCount); err != nil {
-		return nil, err
-	}
-	calH, err := trace.NewFixedSize(rng(99), tenantHogFrameSize, 4096)
-	if err != nil {
-		return nil, err
-	}
-	if r.hogCap, err = tenantCapacity(false, calH, r.victimCount); err != nil {
-		return nil, err
-	}
+	r.victimCap, r.hogCap = caps[0], caps[1]
 
 	r.victimRate = tenantVictimLoad * r.victimCap
 	r.durationNs = victimBits / r.victimRate
@@ -296,15 +302,20 @@ func FigTenantSingle(scale Scale, controllerOn bool, hogFactor float64) (solo, p
 	if err != nil {
 		return FigTenantPoint{}, FigTenantPoint{}, err
 	}
-	solo, _, _, err = r.runPoint(false, 0)
+	// The baseline and the requested point are independent machines.
+	ps, err := runTrials("F-TENANT/single", 2, func(trial int) (FigTenantPoint, error) {
+		if trial == 0 {
+			p, _, _, err := r.runPoint(false, 0)
+			return p, err
+		}
+		p, _, _, err := r.runPoint(controllerOn, hogFactor)
+		return p, err
+	})
 	if err != nil {
 		return FigTenantPoint{}, FigTenantPoint{}, err
 	}
+	solo, point = ps[0], ps[1]
 	solo.RatioVsSolo = 1
-	point, _, _, err = r.runPoint(controllerOn, hogFactor)
-	if err != nil {
-		return FigTenantPoint{}, FigTenantPoint{}, err
-	}
 	if solo.VictimP99Us > 0 {
 		point.RatioVsSolo = point.VictimP99Us / solo.VictimP99Us
 	}
@@ -331,26 +342,33 @@ func FigTenant(scale Scale) ([]FigTenantPoint, *Table, error) {
 	victimRate, victimCount := r.victimRate, r.victimCount
 	runPoint := r.runPoint
 
-	var out []FigTenantPoint
-	soloP99 := 0.0
-	var recoverySetup *tenantSetup
-	recoveryClock := 0.0
-	for _, on := range []bool{false, true} {
-		for _, factor := range []float64{0, 1, 2, 3} {
-			p, s, endNs, err := runPoint(on, factor)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !on && factor == 0 {
-				soloP99 = p.VictimP99Us
-			}
-			p.RatioVsSolo = p.VictimP99Us / soloP99
-			out = append(out, p)
-			if on && factor == 3 {
-				recoverySetup, recoveryClock = s, endNs
-			}
-		}
+	// The eight sweep points each build a fresh machine from fixed rng
+	// streams, so they fan out as trials; vs-solo ratios are filled in
+	// afterwards from the collected (trial-ordered) results, exactly as the
+	// sequential loop computed them.
+	type sweepPoint struct {
+		p     FigTenantPoint
+		s     *tenantSetup
+		endNs float64
 	}
+	factors := []float64{0, 1, 2, 3}
+	sweep, err := runTrials("F-TENANT", 2*len(factors), func(trial int) (sweepPoint, error) {
+		on := trial >= len(factors)
+		p, s, endNs, err := runPoint(on, factors[trial%len(factors)])
+		return sweepPoint{p, s, endNs}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	soloP99 := sweep[0].p.VictimP99Us
+	var out []FigTenantPoint
+	for _, sp := range sweep {
+		sp.p.RatioVsSolo = sp.p.VictimP99Us / soloP99
+		out = append(out, sp.p)
+	}
+	// The deepest controller-on point seeds the recovery phase below.
+	recoverySetup := sweep[len(sweep)-1].s
+	recoveryClock := sweep[len(sweep)-1].endNs
 
 	// Recovery: the hog goes quiet on the deepest controller-on point and
 	// the victim keeps serving on the same setup (the clock continues from

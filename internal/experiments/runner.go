@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"sliceaware/internal/parallel"
+)
+
+// SetJobs fixes the worker count used to fan independent trials of one
+// figure across cores (the cmd tools' -jobs flag). n <= 0 selects
+// GOMAXPROCS. Regardless of the setting, output is byte-identical to a
+// sequential run: every trial builds its own testbed and RNGs, and
+// results are collected in trial order.
+func SetJobs(n int) { parallel.SetJobs(n) }
+
+// Jobs reports the configured worker count.
+func Jobs() int { return parallel.Jobs() }
+
+// effectiveJobs is the worker count a harness actually uses. An armed
+// telemetry collector forces sequential execution: the collector's
+// timeline/flight-recorder paths are single-writer by design, and
+// interleaved trials would shuffle its event order.
+func effectiveJobs() int {
+	if collector != nil {
+		return 1
+	}
+	return parallel.Jobs()
+}
+
+// runTrials fans the n independent trials of one figure across the
+// configured workers and returns their results in trial order. A trial
+// must be self-contained — fresh machine, fresh RNGs (rng streams or
+// trialRNG), no writes to shared state — which every harness in this
+// package upholds; the jobs-equivalence tests in seed_guard_test.go pin
+// the byte-identical guarantee.
+func runTrials[T any](figureID string, n int, fn func(trial int) (T, error)) ([]T, error) {
+	_ = figureID // reserved for per-figure scheduling/telemetry hooks
+	return parallel.Map(effectiveJobs(), n, fn)
+}
+
+// trialSeed derives the deterministic seed of one (figure, trial) pair
+// from the run-wide seed: seed = f(runSeed, figureID, trialIndex). New
+// harness code should draw from trialRNG instead of claiming another
+// fixed rng stream; the derivation keeps trials independent of worker
+// count and of each other.
+func trialSeed(figureID string, trial int) int64 {
+	return parallel.Seed(baseSeed, figureID, trial)
+}
+
+// trialRNG is the per-trial generator built from trialSeed.
+func trialRNG(figureID string, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(trialSeed(figureID, trial)))
+}

@@ -83,3 +83,53 @@ func TestTenantSubsystemLeavesSeedOutputUnchanged(t *testing.T) {
 			golden, buf.Bytes(), want)
 	}
 }
+
+// TestParallelJobsLeaveTablesByteIdentical is the determinism guard for the
+// worker-pool trial engine: the F-TENANT and F-OVERLOAD quick seed-1 tables
+// — the two harnesses with the most intricate trial structure (calibration
+// fan-out, two-point recovery trials, a stateful recovery phase) — must be
+// byte-identical at -jobs 1 and -jobs 4, and both must match the golden
+// pinned from the sequential pre-engine output. Any divergence means a
+// trial leaked state across workers or collection order broke.
+func TestParallelJobsLeaveTablesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick renders of F-TENANT+F-OVERLOAD")
+	}
+	defer SetJobs(1)
+	render := func(jobs int) []byte {
+		SetJobs(jobs)
+		SetSeed(1)
+		var buf bytes.Buffer
+		if _, tab, err := FigTenant(Quick); err != nil {
+			t.Fatal(err)
+		} else {
+			tab.Fprint(&buf)
+		}
+		if _, tab, err := FigOverload(Quick); err != nil {
+			t.Fatal(err)
+		} else {
+			tab.Fprint(&buf)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(4)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-jobs 4 output diverges from -jobs 1:\njobs=1:\n%s\njobs=4:\n%s", seq, par)
+	}
+
+	golden := filepath.Join("testdata", "seed1_quick_ftenant_foverload.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, seq, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, want) {
+		t.Errorf("F-TENANT/F-OVERLOAD quick seed-1 output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, seq, want)
+	}
+}

@@ -40,6 +40,7 @@ type FirstTouchStats struct {
 // SlicedLLC is the shared last-level cache of one socket.
 type SlicedLLC struct {
 	hash     chash.Hash
+	slicer   *chash.SliceLUT // LUT-accelerated view of hash for the per-access path
 	slices   []*cachesim.Cache
 	events   []CBoEvents
 	ddioMask cachesim.WayMask
@@ -64,6 +65,7 @@ func New(p *arch.Profile, h chash.Hash) (*SlicedLLC, error) {
 	}
 	l := &SlicedLLC{
 		hash:      h,
+		slicer:    chash.NewSliceLUT(h),
 		slices:    make([]*cachesim.Cache, p.Slices),
 		events:    make([]CBoEvents, p.Slices),
 		ddioMask:  cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
@@ -88,8 +90,9 @@ func (l *SlicedLLC) Slices() int { return len(l.slices) }
 // truth; reverse-engineering code must not touch it).
 func (l *SlicedLLC) Hash() chash.Hash { return l.hash }
 
-// SliceOf returns the slice a physical address maps to.
-func (l *SlicedLLC) SliceOf(pa uint64) int { return l.hash.Slice(pa) }
+// SliceOf returns the slice a physical address maps to. It answers from
+// the precomputed LUT, which agrees with Hash() on every address.
+func (l *SlicedLLC) SliceOf(pa uint64) int { return l.slicer.Slice(pa) }
 
 // line converts a physical address to a line number.
 func (l *SlicedLLC) line(pa uint64) uint64 { return pa >> l.lineBits }

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/dpdk"
+	"sliceaware/internal/nfv"
+	"sliceaware/internal/trace"
+)
+
+// BenchmarkRunRateForwarding drives the whole per-packet path — steering,
+// DDIO DMA, ring queueing, chain processing, TX — for one batch of campus
+// traffic per iteration. Run with -benchmem: the per-packet constant factor
+// of this loop bounds every figure's wall-clock, so the allocation count
+// per op is the number the hot-path trims are judged against.
+func BenchmarkRunRateForwarding(b *testing.B) {
+	const packets = 2000
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	port, err := dpdk.NewPort(m, dpdk.PortConfig{
+		Queues: 8, RingSize: 1024, PoolMbufs: 4096, Steering: dpdk.RSS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := nfv.NewChain("fwd", nfv.NewForwarder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dut, err := NewDuT(DuTConfig{Machine: m, Port: port, Chain: chain})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := trace.NewCampusMix(rand.New(rand.NewSource(1)), 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunRate(dut, g, packets, 100); err != nil {
+			b.Fatal(err)
+		}
+		dut.Reset()
+		dut.Port().ResetStats()
+	}
+	b.ReportMetric(float64(packets), "pkts/op")
+}

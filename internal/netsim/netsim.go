@@ -128,6 +128,16 @@ type DuT struct {
 
 	coreFree []float64   // ns at which each queue's core goes idle
 	arrivals [][]float64 // per-queue FIFO of arrival times, parallel to the RX ring
+	// arrHead/recHead are the consumed prefix of each queue's FIFO. Popping
+	// by advancing a head index (and rewinding to a zero-length slice once
+	// the queue drains) keeps the backing arrays alive across the whole run,
+	// where re-slicing [1:] leaked the prefix capacity and forced append to
+	// reallocate continually on the per-packet path.
+	arrHead []int
+	recHead []int
+
+	rxScratch []*dpdk.Mbuf // PMD burst buffer, reused across RxBurstInto calls
+	txScratch [1]*dpdk.Mbuf
 
 	latencies []float64 // ns residency per processed packet
 	processed uint64
@@ -201,6 +211,9 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 	d.coreFree = make([]float64, cfg.Port.Queues())
 	d.arrivals = make([][]float64, cfg.Port.Queues())
 	d.recs = make([][]*telemetry.PacketRecord, cfg.Port.Queues())
+	d.arrHead = make([]int, cfg.Port.Queues())
+	d.recHead = make([]int, cfg.Port.Queues())
+	d.rxScratch = make([]*dpdk.Mbuf, 0, d.burst)
 	if cfg.Telemetry != nil {
 		d.tele = cfg.Telemetry
 		d.tele.BindLLC(cfg.Machine.LLC)
@@ -240,8 +253,8 @@ func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
 		q := d.port.SteerQueue(pkt)
 		occ := float64(d.port.RxQueueLen(q)) / float64(d.port.RxRingCap(q))
 		sojourn := 0.0
-		if len(d.arrivals[q]) > 0 {
-			sojourn = t - d.arrivals[q][0]
+		if len(d.arrivals[q]) > d.arrHead[q] {
+			sojourn = t - d.arrivals[q][d.arrHead[q]]
 		}
 		var pressure float64
 		if d.shed != nil {
@@ -318,7 +331,7 @@ func (d *DuT) advanceTo(t float64) {
 func (d *DuT) advanceQueue(q int, t float64) {
 	for d.port.RxQueueLen(q) > 0 {
 		start := d.coreFree[q]
-		if head := d.arrivals[q][0]; head > start {
+		if head := d.arrivals[q][d.arrHead[q]]; head > start {
 			start = head // core idles until the packet is there
 		}
 		if start >= t {
@@ -329,15 +342,16 @@ func (d *DuT) advanceQueue(q int, t float64) {
 		if avail := d.port.RxQueueLen(q); n > avail {
 			n = avail
 		}
-		ms := d.port.RxBurst(q, n)
+		d.rxScratch = d.port.RxBurstInto(q, n, d.rxScratch[:0])
+		ms := d.rxScratch
 		core := d.machine.Core(d.coreOffset + q)
 		for _, mb := range ms {
-			arr := d.arrivals[q][0]
-			d.arrivals[q] = d.arrivals[q][1:]
+			arr := d.arrivals[q][d.arrHead[q]]
+			d.arrHead[q]++
 			var rec *telemetry.PacketRecord
-			if len(d.recs[q]) > 0 {
-				rec = d.recs[q][0]
-				d.recs[q] = d.recs[q][1:]
+			if len(d.recs[q]) > d.recHead[q] {
+				rec = d.recs[q][d.recHead[q]]
+				d.recHead[q]++
 			}
 
 			before := core.Cycles()
@@ -366,7 +380,8 @@ func (d *DuT) advanceQueue(q int, t float64) {
 			d.coreFree[q] = begin + serviceNs
 			d.latencies = append(d.latencies, d.coreFree[q]-arr)
 			d.processed++
-			d.port.TxBurst(q, []*dpdk.Mbuf{mb})
+			d.txScratch[0] = mb
+			d.port.TxBurst(q, d.txScratch[:])
 			if rec != nil {
 				d.finishRecord(rec, q, before, begin, scale)
 			}
@@ -375,6 +390,12 @@ func (d *DuT) advanceQueue(q int, t float64) {
 			d.ctrDone.Inc(q)
 		}
 	}
+	// Queue drained: rewind the FIFOs so their capacity is reused by the
+	// next arrivals instead of growing behind an ever-advancing head.
+	d.arrivals[q] = d.arrivals[q][:0]
+	d.arrHead[q] = 0
+	d.recs[q] = d.recs[q][:0]
+	d.recHead[q] = 0
 }
 
 // finishRecord closes a packet's flight record: cycle-denominated NF
@@ -440,7 +461,9 @@ func (d *DuT) Reset() {
 	for q := range d.coreFree {
 		d.coreFree[q] = 0
 		d.arrivals[q] = d.arrivals[q][:0]
+		d.arrHead[q] = 0
 		d.recs[q] = d.recs[q][:0]
+		d.recHead[q] = 0
 	}
 	// The simulated clock restarts at zero: clear the AQM disciplines'
 	// clock-anchored episode state (cumulative shed/ladder/breaker state
@@ -485,6 +508,13 @@ func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) floa
 	before := d.port.Stats()
 	shedBefore := d.shedTotal
 	copy(d.shedBaseline, d.shedByClass)
+	// Reserve room for every offered packet up front so the per-packet
+	// append in advanceQueue never regrows mid-run.
+	if free := cap(d.latencies) - len(d.latencies); free < count {
+		grown := make([]float64, len(d.latencies), len(d.latencies)+count)
+		copy(grown, d.latencies)
+		d.latencies = grown
+	}
 	t := 0.0
 	var offeredBits float64
 	var windowStartNs float64

@@ -1,0 +1,78 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// cmd tools. The simulator's cost is almost entirely CPU in the per-packet
+// and per-access hot loops, so every binary that drives a figure exposes
+// these hooks for pprof.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values of one binary.
+type Flags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Register declares -cpuprofile and -memprofile on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested. Callers must invoke Stop before
+// the process exits — explicitly, not via defer, in binaries that leave
+// through os.Exit.
+func (f *Flags) Start() error {
+	if f.CPU == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPU)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if either was
+// requested. Safe to call when profiling never started.
+func (f *Flags) Stop() error {
+	var first error
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("prof: %w", err)
+		}
+		f.cpuFile = nil
+	}
+	if f.Mem != "" {
+		file, err := os.Create(f.Mem)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+			return first
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(file); err != nil && first == nil {
+			first = fmt.Errorf("prof: %w", err)
+		}
+		if err := file.Close(); err != nil && first == nil {
+			first = fmt.Errorf("prof: %w", err)
+		}
+	}
+	return first
+}
