@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json determinism ci
+.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke ci
 
 all: build test
 
@@ -50,4 +50,12 @@ determinism:
 	cmp /tmp/sliceaware-j1.txt /tmp/sliceaware-j4.txt
 	@echo "reproduce output byte-identical at -jobs 1 and -jobs 4"
 
-ci: build vet race determinism
+# End-to-end daemon smoke: slicekvsd under past-saturation load with a
+# seeded fault plan must hold the chaos acceptance (top-class p99 within
+# 2x of the unloaded baseline, class 0 shed), then drain cleanly on
+# SIGTERM with /healthz walking ready -> draining -> down and a
+# checkpoint on disk.
+daemon-smoke:
+	bash scripts/daemon_smoke.sh
+
+ci: build vet race determinism daemon-smoke

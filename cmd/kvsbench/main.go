@@ -12,6 +12,12 @@
 // single-trial output exactly) and -jobs N fans them across N workers
 // (0 = GOMAXPROCS); per-trial results print in trial order regardless
 // of worker count. -metrics-out forces -jobs 1 (one shared registry).
+//
+// -metrics-addr serves the same registry live over HTTP while the run
+// executes (GET /metrics, Prometheus text format) — point a scraper at a
+// long multi-trial run instead of waiting for the file dump. Counters
+// are atomic; export-time gauges sample a running machine, so a mid-run
+// scrape reads approximate gauge values.
 package main
 
 import (
@@ -41,6 +47,7 @@ func main() {
 	trials := flag.Int("trials", 1, "independent stores to measure (trial t uses generator seed 7+t)")
 	jobs := flag.Int("jobs", 1, "workers for the trials (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry here (Prometheus text; .json = combined JSON)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP at this address during the run (GET /metrics)")
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -51,8 +58,16 @@ func main() {
 	check(profFlags.Start())
 
 	var collector *telemetry.Collector
-	if *metricsOut != "" {
+	if *metricsOut != "" || *metricsAddr != "" {
 		collector = telemetry.New(telemetry.Config{Shards: 8})
+	}
+	var msrv *telemetry.MetricsServer
+	if *metricsAddr != "" {
+		var err error
+		msrv, err = telemetry.StartMetricsServer(*metricsAddr, telemetry.MetricsHandler(collector.Registry()))
+		check(err)
+		defer msrv.Close()
+		fmt.Printf("  live metrics: %s/metrics\n", msrv.URL())
 	}
 
 	type trialResult struct {
@@ -127,7 +142,7 @@ func main() {
 			*trials, tpsSum/n, cycSum/n)
 	}
 
-	if collector != nil {
+	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		check(err)
 		var werr error

@@ -41,6 +41,11 @@
 //
 //	nfvbench -cachedirector -metrics-out m.prom -trace-out t.jsonl \
 //	         -slice-timeline s.json
+//
+// -metrics-addr additionally serves the registry live over HTTP for the
+// duration of the run (GET /metrics, Prometheus text format). Counters
+// are atomic; export-time gauges sample a running machine, so a mid-run
+// scrape reads approximate gauge values.
 package main
 
 import (
@@ -90,6 +95,7 @@ func main() {
 	mispredict := flag.Float64("mispredict", 0, "fraction of lines the deployed slice-hash profile gets wrong")
 	watchdog := flag.Bool("watchdog", false, "arm CacheDirector's placement watchdog (degraded-mode fallback)")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry here (Prometheus text; .json = combined JSON)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics over HTTP at this address during the run (GET /metrics)")
 	traceOut := flag.String("trace-out", "", "write the packet flight recorder here (chrome://tracing JSON, one event per line)")
 	traceSample := flag.Int("trace-sample", 64, "record full stage spans for every N-th packet")
 	sliceTimeline := flag.String("slice-timeline", "", "write the per-slice LLC heat timeline here (JSON)")
@@ -138,8 +144,14 @@ func main() {
 	check(profFlags.Start())
 
 	var collector *telemetry.Collector
-	if *metricsOut != "" || *traceOut != "" || *sliceTimeline != "" {
+	if *metricsOut != "" || *traceOut != "" || *sliceTimeline != "" || *metricsAddr != "" {
 		collector = telemetry.New(telemetry.Config{Shards: 8, SampleEvery: *traceSample})
+	}
+	if *metricsAddr != "" {
+		msrv, err := telemetry.StartMetricsServer(*metricsAddr, telemetry.MetricsHandler(collector.Registry()))
+		check(err)
+		defer msrv.Close()
+		fmt.Printf("live metrics: %s/metrics\n", msrv.URL())
 	}
 
 	// build assembles one complete DuT for the configured flags. The

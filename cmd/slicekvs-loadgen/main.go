@@ -1,0 +1,514 @@
+// Command slicekvs-loadgen is the closed-loop chaos companion to
+// cmd/slicekvsd: a fleet of worker connections drives Zipf-skewed
+// memcached-protocol traffic at a (optionally diurnal) target rate, with
+// client-side timeouts, retry-with-backoff, reconnects, and periodic
+// connection churn. It can arm a seeded fault plan on the live server
+// (`chaos arm`) before the measured phase and reports per-class latency
+// summaries plus outcome counts as JSON.
+//
+// The acceptance mode runs two phases against one server — a gentle
+// unloaded baseline, then the measured storm with chaos armed — and
+// asserts (a) the top priority class's p99 stayed within
+// -assert-tail-ratio of the baseline and (b) the bottom class was
+// actually shed. Exit code 1 means the assertion failed, 2 means the run
+// itself could not complete.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"sliceaware/internal/stats"
+	"sliceaware/internal/zipf"
+)
+
+type lgConfig struct {
+	addr    string
+	conns   int
+	classes int
+	keys    uint64
+	theta   float64
+	seed    int64
+
+	rate        float64       // mean target requests/s across all conns (0 = unpaced)
+	diurnalAmp  float64       // rate swings ±amp·rate over the period
+	diurnalPer  time.Duration // diurnal period
+	setRatio    float64
+	duration    time.Duration
+	timeout     time.Duration // client-side per-request timeout
+	backoffBase time.Duration // retry/reconnect backoff base
+	churnEvery  int           // reconnect every N requests (0 = never)
+
+	chaosSpec string
+	chaosSeed int64
+
+	baseline        time.Duration // baseline phase length (0 = skip)
+	baselineRate    float64
+	assertTailRatio float64 // >0 enables the acceptance assertions
+	jsonPath        string
+}
+
+// classResult aggregates one priority class in one phase.
+type classResult struct {
+	Class     int               `json:"class"`
+	Requests  uint64            `json:"requests"`
+	OK        uint64            `json:"ok"`
+	Refused   map[string]uint64 `json:"refused"`
+	Timeouts  uint64            `json:"timeouts"`
+	LatencyNs stats.Summary     `json:"latency_ns"`
+}
+
+// phaseResult is one measured phase.
+type phaseResult struct {
+	Name       string        `json:"name"`
+	RateTarget float64       `json:"rate_target"`
+	Duration   float64       `json:"duration_seconds"`
+	Classes    []classResult `json:"classes"`
+	Reconnects uint64        `json:"reconnects"`
+	Churns     uint64        `json:"churns"`
+}
+
+// workerTally is one worker's mutation-free-after-join accumulator.
+type workerTally struct {
+	class      int
+	requests   uint64
+	ok         uint64
+	refused    map[string]uint64
+	timeouts   uint64
+	latencies  []float64
+	reconnects uint64
+	churns     uint64
+}
+
+func main() {
+	var cfg lgConfig
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:11211", "server address")
+	flag.IntVar(&cfg.conns, "conns", 16, "worker connections")
+	flag.IntVar(&cfg.classes, "classes", 4, "priority classes (workers round-robin them)")
+	flag.Uint64Var(&cfg.keys, "keys", 1<<16, "keyspace size (must match the server)")
+	flag.Float64Var(&cfg.theta, "theta", 0.99, "Zipf skew")
+	flag.Int64Var(&cfg.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "mean target requests/s across all connections (0 = as fast as possible)")
+	flag.Float64Var(&cfg.diurnalAmp, "diurnal-amp", 0, "diurnal amplitude as a fraction of -rate")
+	flag.DurationVar(&cfg.diurnalPer, "diurnal-period", 10*time.Second, "diurnal period")
+	flag.Float64Var(&cfg.setRatio, "set-ratio", 0.1, "fraction of SETs")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured phase length")
+	flag.DurationVar(&cfg.timeout, "timeout", time.Second, "client per-request timeout")
+	flag.DurationVar(&cfg.backoffBase, "backoff", 10*time.Millisecond, "retry/reconnect backoff base (doubles, capped 1s)")
+	flag.IntVar(&cfg.churnEvery, "churn-every", 200, "reconnect every N requests (0 disables churn)")
+	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault plan to arm, e.g. nic-drop:0.01,slowdown:0.2:100000")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 42, "seed for the armed fault plan")
+	flag.DurationVar(&cfg.baseline, "baseline", 0, "unloaded baseline phase length before the measured phase")
+	flag.Float64Var(&cfg.baselineRate, "baseline-rate", 200, "baseline phase target rate")
+	flag.Float64Var(&cfg.assertTailRatio, "assert-tail-ratio", 0, "fail unless top-class p99 ≤ ratio × baseline p99 and class 0 was shed (requires -baseline)")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write the full report as JSON ('-' for stdout)")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		if _, failed := err.(assertError); failed {
+			fmt.Fprintln(os.Stderr, "ASSERT FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+type assertError struct{ msg string }
+
+func (e assertError) Error() string { return e.msg }
+
+func run(cfg lgConfig) error {
+	var phases []phaseResult
+
+	if cfg.baseline > 0 {
+		base := cfg
+		base.rate = cfg.baselineRate
+		base.diurnalAmp = 0
+		base.duration = cfg.baseline
+		p, err := runPhase("baseline", base)
+		if err != nil {
+			return err
+		}
+		phases = append(phases, p)
+	}
+
+	if cfg.chaosSpec != "" {
+		if err := armChaos(cfg); err != nil {
+			return err
+		}
+		fmt.Printf("armed fault plan %q seed %d\n", cfg.chaosSpec, cfg.chaosSeed)
+	}
+
+	p, err := runPhase("measured", cfg)
+	if err != nil {
+		return err
+	}
+	phases = append(phases, p)
+
+	report := struct {
+		Phases []phaseResult `json:"phases"`
+	}{phases}
+	if cfg.jsonPath != "" {
+		var w io.Writer = os.Stdout
+		if cfg.jsonPath != "-" {
+			f, err := os.Create(cfg.jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	}
+	for _, p := range phases {
+		printPhase(p)
+	}
+
+	if cfg.assertTailRatio > 0 {
+		return assertAcceptance(cfg, phases)
+	}
+	return nil
+}
+
+// assertAcceptance checks the chaos acceptance criteria over the phases.
+func assertAcceptance(cfg lgConfig, phases []phaseResult) error {
+	if len(phases) < 2 {
+		return fmt.Errorf("-assert-tail-ratio needs -baseline so there are two phases to compare")
+	}
+	base, load := phases[0], phases[len(phases)-1]
+	top := cfg.classes - 1
+	basePCls, loadPCls := findClass(base, top), findClass(load, top)
+	if basePCls == nil || loadPCls == nil {
+		return fmt.Errorf("top class %d missing from a phase", top)
+	}
+	if basePCls.LatencyNs.N == 0 || loadPCls.LatencyNs.N == 0 {
+		return assertError{fmt.Sprintf("no top-class latency samples (baseline %d, measured %d)",
+			basePCls.LatencyNs.N, loadPCls.LatencyNs.N)}
+	}
+	ratio := loadPCls.LatencyNs.P99 / basePCls.LatencyNs.P99
+	fmt.Printf("top-class p99: baseline %.0fns, measured %.0fns, ratio %.2f (limit %.2f)\n",
+		basePCls.LatencyNs.P99, loadPCls.LatencyNs.P99, ratio, cfg.assertTailRatio)
+	if ratio > cfg.assertTailRatio {
+		return assertError{fmt.Sprintf("top-class p99 ratio %.2f exceeds %.2f", ratio, cfg.assertTailRatio)}
+	}
+	lowCls := findClass(load, 0)
+	if lowCls == nil {
+		return fmt.Errorf("class 0 missing from measured phase")
+	}
+	var lowRefused uint64
+	for _, n := range lowCls.Refused {
+		lowRefused += n
+	}
+	fmt.Printf("class 0 under load: %d ok, %d refused, %d timeouts\n", lowCls.OK, lowRefused, lowCls.Timeouts)
+	if lowRefused == 0 {
+		return assertError{"class 0 was never shed under overload — admission control inert"}
+	}
+	return nil
+}
+
+func findClass(p phaseResult, class int) *classResult {
+	for i := range p.Classes {
+		if p.Classes[i].Class == class {
+			return &p.Classes[i]
+		}
+	}
+	return nil
+}
+
+func printPhase(p phaseResult) {
+	fmt.Printf("phase %s: %.1fs at target %.0f req/s, %d reconnects, %d churns\n",
+		p.Name, p.Duration, p.RateTarget, p.Reconnects, p.Churns)
+	for _, c := range p.Classes {
+		var refused uint64
+		for _, n := range c.Refused {
+			refused += n
+		}
+		fmt.Printf("  class %d: %6d req  %6d ok  %5d refused  %4d timeouts  p50 %8.0fns  p99 %8.0fns\n",
+			c.Class, c.Requests, c.OK, refused, c.Timeouts, c.LatencyNs.P50, c.LatencyNs.P99)
+	}
+}
+
+// armChaos sends the fault plan to the server on a dedicated connection.
+func armChaos(cfg lgConfig) error {
+	conn, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
+	if err != nil {
+		return fmt.Errorf("arm chaos: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.timeout))
+	fmt.Fprintf(conn, "chaos arm %d %s\r\n", cfg.chaosSeed, cfg.chaosSpec)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("arm chaos: %w", err)
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return fmt.Errorf("arm chaos: server said %q", strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// runPhase drives cfg.conns workers for cfg.duration and merges tallies.
+func runPhase(name string, cfg lgConfig) (phaseResult, error) {
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.duration, func() { close(stop) })
+
+	tallies := make([]*workerTally, cfg.conns)
+	var wg sync.WaitGroup
+	phaseStart := time.Now()
+	for i := 0; i < cfg.conns; i++ {
+		i := i
+		tallies[i] = &workerTally{class: i % cfg.classes, refused: map[string]uint64{}}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker(cfg, i, phaseStart, stop, tallies[i])
+		}()
+	}
+	wg.Wait()
+
+	p := phaseResult{Name: name, RateTarget: cfg.rate, Duration: time.Since(phaseStart).Seconds()}
+	byClass := map[int]*classResult{}
+	lats := map[int][]float64{}
+	for _, t := range tallies {
+		c, ok := byClass[t.class]
+		if !ok {
+			c = &classResult{Class: t.class, Refused: map[string]uint64{}}
+			byClass[t.class] = c
+		}
+		c.Requests += t.requests
+		c.OK += t.ok
+		c.Timeouts += t.timeouts
+		for k, n := range t.refused {
+			c.Refused[k] += n
+		}
+		lats[t.class] = append(lats[t.class], t.latencies...)
+		p.Reconnects += t.reconnects
+		p.Churns += t.churns
+	}
+	for class := 0; class < cfg.classes; class++ {
+		c, ok := byClass[class]
+		if !ok {
+			continue
+		}
+		c.LatencyNs = stats.Summarize(lats[class])
+		p.Classes = append(p.Classes, *c)
+	}
+	return p, nil
+}
+
+// lgConn is one worker's connection state.
+type lgConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func (c *lgConn) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// connect dials and registers the worker's priority class, backing off
+// on failure until stop closes.
+func connect(cfg lgConfig, class int, stop <-chan struct{}) (*lgConn, bool) {
+	backoff := cfg.backoffBase
+	for {
+		select {
+		case <-stop:
+			return nil, false
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
+		if err == nil {
+			c := &lgConn{conn: conn, br: bufio.NewReader(conn)}
+			conn.SetDeadline(time.Now().Add(cfg.timeout))
+			fmt.Fprintf(conn, "prio %d\r\n", class)
+			if line, err := c.br.ReadString('\n'); err == nil && strings.HasPrefix(line, "OK") {
+				return c, true
+			}
+			c.close()
+		}
+		select {
+		case <-stop:
+			return nil, false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// rateAt evaluates the diurnal curve at elapsed time t.
+func rateAt(cfg lgConfig, t time.Duration) float64 {
+	if cfg.rate <= 0 {
+		return 0
+	}
+	if cfg.diurnalAmp == 0 || cfg.diurnalPer <= 0 {
+		return cfg.rate
+	}
+	phase := 2 * math.Pi * t.Seconds() / cfg.diurnalPer.Seconds()
+	return cfg.rate * (1 + cfg.diurnalAmp*math.Sin(phase))
+}
+
+// runWorker is the closed-loop body of one connection.
+func runWorker(cfg lgConfig, id int, phaseStart time.Time, stop <-chan struct{}, tally *workerTally) {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	gen, err := zipf.NewZipf(rng, cfg.keys, cfg.theta)
+	if err != nil {
+		return
+	}
+
+	c, ok := connect(cfg, tally.class, stop)
+	if !ok {
+		return
+	}
+	defer c.close()
+
+	backoff := cfg.backoffBase
+	sent := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+
+		// Pace to the phase's current diurnal rate, split across workers.
+		if r := rateAt(cfg, time.Since(phaseStart)); r > 0 {
+			interval := time.Duration(float64(cfg.conns) / r * float64(time.Second))
+			select {
+			case <-stop:
+				return
+			case <-time.After(interval):
+			}
+		}
+
+		key := fmt.Sprintf("k%d", gen.Next())
+		isSet := rng.Float64() < cfg.setRatio
+		start := time.Now()
+		outcome := doRequest(c, cfg.timeout, key, isSet)
+		tally.requests++
+
+		switch outcome {
+		case "ok":
+			tally.ok++
+			tally.latencies = append(tally.latencies, float64(time.Since(start).Nanoseconds()))
+			backoff = cfg.backoffBase
+			sent++
+			if cfg.churnEvery > 0 && sent%cfg.churnEvery == 0 {
+				c.close()
+				tally.churns++
+				if c, ok = connect(cfg, tally.class, stop); !ok {
+					return
+				}
+			}
+		case "timeout", "conn":
+			// A dead or silent connection: drop it, back off, reconnect —
+			// the path an injected NIC drop is designed to exercise.
+			tally.timeouts++
+			c.close()
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			tally.reconnects++
+			if c, ok = connect(cfg, tally.class, stop); !ok {
+				return
+			}
+		default:
+			// A protocol-level refusal; the connection is still good.
+			// Retry-with-backoff: the pacing sleep plus this backoff is
+			// the client's contribution to unloading the server.
+			tally.refused[outcome]++
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+	}
+}
+
+// doRequest performs one GET or SET and classifies the outcome:
+// "ok", "timeout", "conn", or a refusal reason.
+func doRequest(c *lgConn, timeout time.Duration, key string, isSet bool) string {
+	c.conn.SetDeadline(time.Now().Add(timeout))
+	if isSet {
+		if _, err := fmt.Fprintf(c.conn, "set %s 0 0 5\r\nhello\r\n", key); err != nil {
+			return "conn"
+		}
+	} else {
+		if _, err := fmt.Fprintf(c.conn, "get %s\r\n", key); err != nil {
+			return "conn"
+		}
+	}
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return "timeout"
+			}
+			return "conn"
+		}
+		switch line = strings.TrimRight(line, "\r\n"); {
+		case line == "STORED", line == "END":
+			return "ok"
+		case strings.HasPrefix(line, "SERVER_ERROR"):
+			return refusalReason(line)
+		case strings.HasPrefix(line, "CLIENT_ERROR"), line == "ERROR":
+			return "protocol"
+		default:
+			// VALUE header or payload line of a GET response.
+		}
+	}
+}
+
+// refusalReason compresses a SERVER_ERROR line to a stable counter key.
+func refusalReason(line string) string {
+	switch {
+	case strings.Contains(line, "shed"):
+		return "shed"
+	case strings.Contains(line, "queue full"):
+		return "inbox_full"
+	case strings.Contains(line, "backlog full"):
+		return "backlog"
+	case strings.Contains(line, "aqm"):
+		return "aqm"
+	case strings.Contains(line, "degraded"):
+		return "degraded"
+	case strings.Contains(line, "breaker"):
+		return "breaker"
+	case strings.Contains(line, "draining"):
+		return "draining"
+	case strings.Contains(line, "timeout"):
+		return "server_timeout"
+	case strings.Contains(line, "corrupt"):
+		return "corrupt"
+	default:
+		return "other"
+	}
+}

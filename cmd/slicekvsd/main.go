@@ -1,0 +1,62 @@
+// Command slicekvsd serves the simulated slice-aware key-value store over
+// a memcached-style text protocol: one supervised, goroutine-pinned shard
+// worker per simulated core, an overload guard (priority shedding, AQM on
+// the shard inboxes, per-shard circuit breakers, a degradation ladder) on
+// the admission path, and a health + Prometheus sidecar. SIGTERM drains
+// gracefully: admission stops with a retryable refusal, in-flight
+// requests finish (bounded), shard statistics checkpoint to disk, and the
+// process exits 0.
+//
+// Pair it with cmd/slicekvs-loadgen, which can arm a seeded fault plan
+// against the live server (`chaos arm`) and measure per-class latency
+// while the daemon degrades and recovers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.addr, "addr", cfg.addr, "protocol listen address")
+	flag.StringVar(&cfg.httpAddr, "http", cfg.httpAddr, "health/metrics listen address (empty disables)")
+	flag.IntVar(&cfg.shards, "shards", cfg.shards, "shard workers (each owns a simulated machine)")
+	keys := flag.Uint64("keys", cfg.keys, "total keyspace size")
+	flag.BoolVar(&cfg.sliceAware, "sliceaware", cfg.sliceAware, "slice-aware value placement")
+	flag.IntVar(&cfg.warmup, "warmup", cfg.warmup, "per-shard warm-up GETs before ready")
+	flag.IntVar(&cfg.connsMax, "conns-max", cfg.connsMax, "concurrent connection cap")
+	flag.IntVar(&cfg.inbox, "inbox", cfg.inbox, "per-shard request queue depth")
+	flag.IntVar(&cfg.classes, "classes", cfg.classes, "priority classes")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", cfg.readTimeout, "per-connection read deadline")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", cfg.writeTimeout, "per-connection write deadline")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", cfg.requestTimeout, "bound on waiting for a shard reply")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", cfg.drainTimeout, "bound on waiting out in-flight requests at drain")
+	flag.DurationVar(&cfg.lameDuck, "lame-duck", cfg.lameDuck, "linger in draining before closing sockets")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", cfg.breakerCooldown, "circuit-breaker open cooldown")
+	flag.StringVar(&cfg.aqm, "aqm", cfg.aqm, "inbox AQM: codel, red, or none")
+	flag.DurationVar(&cfg.aqmTarget, "aqm-target", cfg.aqmTarget, "CoDel sojourn target")
+	flag.DurationVar(&cfg.aqmInterval, "aqm-interval", cfg.aqmInterval, "CoDel interval")
+	flag.DurationVar(&cfg.fullSojourn, "full-sojourn", cfg.fullSojourn, "queue wait regarded as full shedding pressure")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", cfg.checkpoint, "drain checkpoint path (empty disables)")
+	flag.Parse()
+	cfg.keys = *keys
+
+	s, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := s.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	<-sigc
+	s.Drain()
+}

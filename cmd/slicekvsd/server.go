@@ -1,0 +1,954 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sliceaware/internal/daemon"
+	"sliceaware/internal/faults"
+	"sliceaware/internal/overload"
+	"sliceaware/internal/telemetry"
+)
+
+// config carries every slicekvsd knob. Durations are wall-clock: the
+// daemon lives outside the simulated machine, only ServeOne runs inside.
+type config struct {
+	addr     string // memcached-protocol listener
+	httpAddr string // health + metrics sidecar ("" disables)
+
+	shards     int
+	keys       uint64
+	sliceAware bool
+	warmup     int // per-shard warm-up GETs before ready
+
+	connsMax int // concurrent connection cap (backlog bound)
+	inbox    int // per-shard request queue depth
+	classes  int // priority classes (0 lowest .. classes-1 highest)
+
+	readTimeout    time.Duration // per-read deadline (idle cutoff)
+	writeTimeout   time.Duration // per-flush deadline
+	requestTimeout time.Duration // conn handler's wait on a shard reply
+	drainTimeout   time.Duration // bound on waiting out in-flight requests
+	lameDuck       time.Duration // linger in draining so probes observe it
+
+	breakerCooldown time.Duration
+	aqm             string // codel | red | none
+	aqmTarget       time.Duration
+	aqmInterval     time.Duration
+
+	fullSojourn   time.Duration // queue wait regarded as pressure 1.0
+	tick          time.Duration // pressure-sampling period
+	escalateAfter int           // ladder: high-pressure ticks before escalating
+	recoverAfter  int           // ladder: calm ticks before recovering
+
+	checkpoint string // drain checkpoint path ("" disables)
+}
+
+func defaultConfig() config {
+	return config{
+		addr:            "127.0.0.1:11211",
+		httpAddr:        "127.0.0.1:9090",
+		shards:          4,
+		keys:            1 << 16,
+		sliceAware:      true,
+		warmup:          512,
+		connsMax:        256,
+		inbox:           128,
+		classes:         overload.DefaultClasses,
+		readTimeout:     60 * time.Second,
+		writeTimeout:    5 * time.Second,
+		requestTimeout:  2 * time.Second,
+		drainTimeout:    10 * time.Second,
+		lameDuck:        0,
+		breakerCooldown: 50 * time.Millisecond,
+		aqm:             "codel",
+		aqmTarget:       500 * time.Microsecond,
+		aqmInterval:     5 * time.Millisecond,
+		fullSojourn:     time.Millisecond,
+		tick:            10 * time.Millisecond,
+		escalateAfter:   25,
+		recoverAfter:    200,
+	}
+}
+
+func (c config) keysPerShard() uint64 {
+	return (c.keys + uint64(c.shards) - 1) / uint64(c.shards)
+}
+
+func (c config) validate() error {
+	if c.shards < 1 {
+		return fmt.Errorf("slicekvsd: need ≥1 shard, got %d", c.shards)
+	}
+	if c.keys == 0 {
+		return errors.New("slicekvsd: need a non-empty keyspace")
+	}
+	if c.connsMax < 1 || c.inbox < 1 {
+		return errors.New("slicekvsd: connection and inbox bounds must be ≥1")
+	}
+	if c.classes < 1 {
+		return fmt.Errorf("slicekvsd: need ≥1 priority class, got %d", c.classes)
+	}
+	return nil
+}
+
+// server owns the listener, the shards, the admission guard, and the
+// lifecycle. Connection handlers are plain goroutines; each shard's
+// simulated machine is owned by exactly one supervised worker goroutine,
+// and everything in between is channels and atomics.
+type server struct {
+	cfg    config
+	start  time.Time
+	lc     *daemon.Lifecycle
+	sup    *daemon.Supervisor
+	shards []*shard
+
+	ln   net.Listener
+	http *telemetry.MetricsServer
+
+	// admitMu orders request admission against BeginDrain: admissions hold
+	// it shared around the state check + reqWG.Add, drain holds it
+	// exclusively while flipping state, so reqWG can never gain members
+	// after the drain starts waiting on it.
+	admitMu sync.RWMutex
+	reqWG   sync.WaitGroup
+
+	connSem   chan struct{}
+	connWG    sync.WaitGroup
+	connsMu   sync.Mutex
+	conns     map[net.Conn]struct{}
+	openConns atomic.Int64
+
+	shedMu sync.Mutex
+	shed   *overload.Shedder
+
+	ladder      *overload.Ladder // owned by the pressure ticker goroutine
+	ladderLevel atomic.Int32
+	shardsDown  atomic.Int32
+	tickStop    chan struct{}
+	tickDone    chan struct{}
+
+	reg     *telemetry.Registry
+	ctrConn map[string]*telemetry.Counter
+	ctrResp []map[string]*telemetry.Counter // [class][outcome]
+	ctrOps  map[string]*telemetry.Counter   // get/set per shard
+	histLat []*telemetry.Histogram          // [class], wall ns
+
+	drainOnce sync.Once
+	logf      func(format string, args ...any)
+}
+
+// Response outcome labels, also the keys of ctrResp.
+var outcomes = []string{
+	"ok", "shed", "inbox_full", "aqm", "degraded", "breaker",
+	"timeout", "draining", "injected", "dropped_silent", "error",
+}
+
+// errSilentDrop tells the connection handler to answer with nothing —
+// an injected NIC drop looks like a lost packet, not a refusal.
+var errSilentDrop = errors.New("slicekvsd: injected silent drop")
+
+// newServer wires the shards, guards and metrics but opens no sockets.
+func newServer(cfg config) (*server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &server{
+		cfg:      cfg,
+		start:    time.Now(),
+		lc:       daemon.NewLifecycle(),
+		connSem:  make(chan struct{}, cfg.connsMax),
+		conns:    make(map[net.Conn]struct{}),
+		tickStop: make(chan struct{}),
+		tickDone: make(chan struct{}),
+		logf:     log.Printf,
+	}
+
+	for i := 0; i < cfg.shards; i++ {
+		sh, err := newShard(i, cfg, s.start)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+
+	// Daemon-side shed thresholds: the defaults are tuned for the
+	// simulator's RX rings; a daemon inbox runs hotter, so class 0 holds
+	// until a quarter of full pressure and the top class until nearly
+	// saturated. Pressure is the worse of inbox occupancy and the queue-
+	// wait EWMA normalized by fullSojourn.
+	shed, err := overload.NewShedder(overload.ShedConfig{
+		Classes: cfg.classes, BaseFrac: 0.25, MaxFrac: 0.95,
+		FullSojournNs: float64(cfg.fullSojourn.Nanoseconds()),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.shed = shed
+
+	ladder, err := overload.NewLadder(overload.LadderConfig{
+		EscalateAfter: cfg.escalateAfter,
+		RecoverAfter:  cfg.recoverAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ladder = ladder
+
+	s.sup = daemon.NewSupervisor(daemon.SupervisorConfig{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  2 * time.Second,
+		ResetAfter:  5 * time.Second,
+		OnStateChange: func(id int, up bool, restarts int, err error) {
+			if up {
+				s.shardsDown.Add(-1)
+				s.logf("slicekvsd: shard %d back up (restart %d)", id, restarts)
+			} else {
+				s.shardsDown.Add(1)
+				s.logf("slicekvsd: shard %d down: %v", id, err)
+			}
+		},
+	})
+
+	s.initMetrics()
+	return s, nil
+}
+
+// initMetrics builds the daemon's own registry. The shards' simulated
+// machines register no export-time callbacks here: their internals are
+// single-threaded and only quiesce after drain, so everything exported
+// live is an atomic mirror maintained on the daemon side.
+func (s *server) initMetrics() {
+	s.reg = telemetry.NewRegistry(s.cfg.shards)
+
+	s.ctrConn = map[string]*telemetry.Counter{}
+	for _, o := range []string{"accepted", "refused_backlog", "refused_draining", "closed"} {
+		s.ctrConn[o] = s.reg.CounterL("slicekvsd_connections_total",
+			"Connection lifecycle events by outcome", fmt.Sprintf("outcome=%q", o))
+	}
+	s.ctrResp = make([]map[string]*telemetry.Counter, s.cfg.classes)
+	s.histLat = make([]*telemetry.Histogram, s.cfg.classes)
+	for c := 0; c < s.cfg.classes; c++ {
+		s.ctrResp[c] = map[string]*telemetry.Counter{}
+		for _, o := range outcomes {
+			s.ctrResp[c][o] = s.reg.CounterL("slicekvsd_responses_total",
+				"Request responses by class and outcome",
+				fmt.Sprintf("class=%q,outcome=%q", strconv.Itoa(c), o))
+		}
+		// 4 µs .. ~1 s in doubling buckets: wall-clock service latency.
+		s.histLat[c] = s.reg.HistogramL("slicekvsd_request_latency_ns",
+			"Wall-clock request latency by class",
+			fmt.Sprintf("class=%q", strconv.Itoa(c)), telemetry.ExpBuckets(4096, 2, 18))
+	}
+	s.ctrOps = map[string]*telemetry.Counter{
+		"get": s.reg.CounterL("slicekvsd_requests_total", "Requests dispatched by op", `op="get"`),
+		"set": s.reg.CounterL("slicekvsd_requests_total", "Requests dispatched by op", `op="set"`),
+	}
+
+	s.reg.GaugeFunc("slicekvsd_state", "Lifecycle state (0 starting, 1 ready, 2 draining, 3 stopped)", "",
+		func() float64 { return float64(s.lc.State()) })
+	s.reg.GaugeFunc("slicekvsd_ladder_level", "Degradation ladder level", "",
+		func() float64 { return float64(s.ladderLevel.Load()) })
+	s.reg.GaugeFunc("slicekvsd_shards_down", "Shard workers currently down", "",
+		func() float64 { return float64(s.shardsDown.Load()) })
+	s.reg.GaugeFunc("slicekvsd_open_connections", "Connections currently served", "",
+		func() float64 { return float64(s.openConns.Load()) })
+	for _, sh := range s.shards {
+		sh := sh
+		lbl := fmt.Sprintf("shard=%q", strconv.Itoa(sh.id))
+		s.reg.GaugeFunc("slicekvsd_shard_inbox", "Requests queued per shard", lbl,
+			func() float64 { return float64(len(sh.inbox)) })
+		s.reg.GaugeFunc("slicekvsd_shard_served", "Requests served per shard", lbl,
+			func() float64 { return float64(sh.served.Load()) })
+	}
+}
+
+// wallNs is the breaker clock: monotonic wall nanoseconds since start.
+func (s *server) wallNs() float64 {
+	return float64(time.Since(s.start).Nanoseconds())
+}
+
+// Serve opens the sockets, warms and starts the shards, and flips the
+// lifecycle to ready. It returns once the daemon is serving.
+func (s *server) Serve() error {
+	ln, err := net.Listen("tcp", s.cfg.addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+
+	if s.cfg.httpAddr != "" {
+		mux := daemon.Mux(s.lc, s.sup, telemetry.MetricsHandler(s.reg))
+		srv, err := telemetry.StartMetricsServer(s.cfg.httpAddr, mux)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.http = srv
+	}
+
+	// Warm before the workers exist: the stores are still single-owner.
+	for _, sh := range s.shards {
+		if err := sh.warm(s.cfg.warmup); err != nil {
+			s.shutdownSockets()
+			return err
+		}
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		if err := s.sup.Start(sh.id, fmt.Sprintf("shard-%d", sh.id), sh.run); err != nil {
+			s.shutdownSockets()
+			return err
+		}
+	}
+
+	go s.pressureTick()
+	go s.acceptLoop()
+
+	if err := s.lc.SetReady(); err != nil {
+		// A signal raced boot and drained us already; Serve still
+		// succeeded, Drain will finish the job.
+		return nil
+	}
+	s.logf("slicekvsd: ready on %s (%d shards, %d keys, slice-aware=%v)",
+		ln.Addr(), s.cfg.shards, s.cfg.keys, s.cfg.sliceAware)
+	return nil
+}
+
+func (s *server) shutdownSockets() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.http != nil {
+		s.http.Close()
+	}
+}
+
+// Addr returns the protocol listener address (tests bind port 0).
+func (s *server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr returns the sidecar address, "" when disabled.
+func (s *server) HTTPAddr() string {
+	if s.http == nil {
+		return ""
+	}
+	return s.http.Addr().String()
+}
+
+// pressureTick samples shard inbox occupancy into the degradation ladder
+// and pins the ladder floor while any shard worker is down. The ticker
+// goroutine is the ladder's single owner.
+func (s *server) pressureTick() {
+	defer close(s.tickDone)
+	t := time.NewTicker(s.cfg.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-t.C:
+			var pressure float64
+			for _, sh := range s.shards {
+				if len(sh.inbox) == 0 {
+					sh.decaySojourn()
+				}
+				occ := float64(len(sh.inbox)) / float64(cap(sh.inbox))
+				sj := sh.sojournEwma() / float64(s.cfg.fullSojourn.Nanoseconds())
+				if occ > pressure {
+					pressure = occ
+				}
+				if sj > pressure {
+					pressure = sj
+				}
+			}
+			if pressure > 1 {
+				pressure = 1
+			}
+			if s.shardsDown.Load() > 0 {
+				s.ladder.SetFloor(1)
+			} else {
+				s.ladder.SetFloor(0)
+			}
+			s.ladderLevel.Store(int32(s.ladder.Observe(pressure)))
+		}
+	}
+}
+
+// acceptLoop admits connections up to the backlog bound; excess callers
+// get an immediate retryable refusal instead of a silent SYN queue.
+func (s *server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain complete
+		}
+		select {
+		case s.connSem <- struct{}{}:
+		default:
+			s.ctrConn["refused_backlog"].Inc(0)
+			refuseConn(conn, s.cfg.writeTimeout, "SERVER_ERROR overloaded: connection backlog full (retryable)")
+			continue
+		}
+		s.ctrConn["accepted"].Inc(0)
+		s.trackConn(conn, true)
+		s.openConns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func refuseConn(conn net.Conn, d time.Duration, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(d))
+	io.WriteString(conn, msg+"\r\n")
+	conn.Close()
+}
+
+func (s *server) trackConn(conn net.Conn, add bool) {
+	s.connsMu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.connsMu.Unlock()
+}
+
+func (s *server) closeConns() {
+	s.connsMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connsMu.Unlock()
+}
+
+// handleConn speaks the memcached text protocol on one connection.
+func (s *server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.trackConn(conn, false)
+		s.openConns.Add(-1)
+		<-s.connSem
+		s.ctrConn["closed"].Inc(0)
+		s.connWG.Done()
+	}()
+
+	if s.lc.State() != daemon.StateReady {
+		s.ctrConn["refused_draining"].Inc(0)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+		io.WriteString(conn, protoErr(errDraining)+"\r\n")
+		return
+	}
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	class := 0
+	for {
+		// A connection that outlives readiness is told to go away as soon
+		// as its current request cycle finishes.
+		if s.lc.State() != daemon.StateReady {
+			bw.WriteString(protoErr(errDraining) + "\r\n")
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+			bw.Flush()
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.readTimeout))
+		line, err := readLine(br)
+		if err != nil {
+			return
+		}
+		quit := s.dispatch(line, br, bw, &class)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
+		if err := bw.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// readLine reads one CRLF-terminated protocol line, bounded at 4 KiB.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > 4096 {
+		return "", errors.New("line too long")
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// dispatch executes one command line. It returns true when the
+// connection should close after the pending flush.
+func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class *int) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	switch fields[0] {
+	case "get", "gets":
+		s.cmdGet(fields[1:], bw, *class)
+	case "set":
+		return s.cmdSet(fields[1:], br, bw, *class)
+	case "prio":
+		if len(fields) != 2 {
+			bw.WriteString("CLIENT_ERROR usage: prio <class>\r\n")
+			return false
+		}
+		c, err := strconv.Atoi(fields[1])
+		if err != nil || c < 0 || c >= s.cfg.classes {
+			fmt.Fprintf(bw, "CLIENT_ERROR class must be 0..%d\r\n", s.cfg.classes-1)
+			return false
+		}
+		*class = c
+		bw.WriteString("OK\r\n")
+	case "chaos":
+		s.cmdChaos(fields[1:], bw)
+	case "stats":
+		s.cmdStats(bw)
+	case "version":
+		bw.WriteString("VERSION slicekvsd-0.6 (sliceaware)\r\n")
+	case "quit":
+		return true
+	default:
+		bw.WriteString("ERROR\r\n")
+	}
+	return false
+}
+
+// protoErr renders an admission error as a protocol error line.
+func protoErr(err error) string {
+	return "SERVER_ERROR " + err.Error()
+}
+
+func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int) {
+	if len(keys) == 0 {
+		bw.WriteString("CLIENT_ERROR usage: get <key> [key...]\r\n")
+		return
+	}
+	type hit struct {
+		key  string
+		rank uint64
+	}
+	var hits []hit
+	for _, k := range keys {
+		rank := s.keyRank(k)
+		s.ctrOps["get"].Inc(int(rank % uint64(s.cfg.shards)))
+		_, err := s.serveRequest(class, rank, true)
+		switch {
+		case err == nil:
+			hits = append(hits, hit{k, rank})
+		case errors.Is(err, errSilentDrop):
+			// A lost packet answers with nothing, END included: the
+			// client's timeout owns this failure.
+			return
+		default:
+			bw.WriteString(protoErr(err) + "\r\n")
+			return
+		}
+	}
+	for _, h := range hits {
+		v := valueBytes(h.rank)
+		fmt.Fprintf(bw, "VALUE %s 0 %d\r\n", h.key, len(v))
+		bw.Write(v)
+		bw.WriteString("\r\n")
+	}
+	bw.WriteString("END\r\n")
+}
+
+// cmdSet parses `set <key> <flags> <exptime> <bytes>` plus the data
+// block. The data block is consumed before any admission decision so the
+// stream stays framed even when the request is refused.
+func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class int) bool {
+	if len(args) < 4 {
+		bw.WriteString("CLIENT_ERROR usage: set <key> <flags> <exptime> <bytes>\r\n")
+		return false
+	}
+	n, err := strconv.Atoi(args[3])
+	if err != nil || n < 0 || n > 1<<20 {
+		bw.WriteString("CLIENT_ERROR bad data chunk length\r\n")
+		return true // framing unknown: close
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return true
+	}
+	if string(buf[n:]) != "\r\n" {
+		bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
+		return true
+	}
+
+	rank := s.keyRank(args[0])
+	s.ctrOps["set"].Inc(int(rank % uint64(s.cfg.shards)))
+	_, err = s.serveRequest(class, rank, false)
+	switch {
+	case err == nil:
+		bw.WriteString("STORED\r\n")
+	case errors.Is(err, errSilentDrop):
+	default:
+		bw.WriteString(protoErr(err) + "\r\n")
+	}
+	return false
+}
+
+// keyRank maps a protocol key to a global key rank: "k<n>" keys map
+// straight to rank n (preserving the Zipf popularity order the stores
+// are laid out for), anything else hashes uniformly.
+func (s *server) keyRank(key string) uint64 {
+	if len(key) > 1 && key[0] == 'k' {
+		if n, err := strconv.ParseUint(key[1:], 10, 64); err == nil {
+			return n % s.cfg.keys
+		}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return h.Sum64() % s.cfg.keys
+}
+
+// valueBytes synthesizes the 64-byte value body for a rank —
+// deterministic, so clients can verify payload integrity.
+func valueBytes(rank uint64) []byte {
+	v := make([]byte, 64)
+	copy(v, fmt.Sprintf("rank=%d;", rank))
+	for i := len(fmt.Sprintf("rank=%d;", rank)); i < 64; i++ {
+		v[i] = '.'
+	}
+	return v
+}
+
+// serveRequest runs one request through the admission guard and a shard:
+// drain gate → priority shed → degradation ladder → per-shard breaker →
+// bounded inbox → wait for the worker (bounded by requestTimeout).
+func (s *server) serveRequest(class int, rank uint64, isGet bool) (uint64, error) {
+	sh := s.shards[rank%uint64(len(s.shards))]
+	local := rank / uint64(len(s.shards))
+
+	s.admitMu.RLock()
+	if s.lc.State() != daemon.StateReady {
+		s.admitMu.RUnlock()
+		s.account(class, "draining", 0)
+		return 0, errDraining
+	}
+	s.reqWG.Add(1)
+	s.admitMu.RUnlock()
+	defer s.reqWG.Done()
+
+	// Priority shed on inbox occupancy and smoothed queue wait.
+	occ := float64(len(sh.inbox)) / float64(cap(sh.inbox))
+	s.shedMu.Lock()
+	admit := s.shed.Admit(class, s.shed.Pressure(occ, sh.sojournEwma()))
+	s.shedMu.Unlock()
+	if !admit {
+		s.account(class, "shed", 0)
+		return 0, errShed
+	}
+
+	// Degradation ladder: level 1 refuses writes below the top class,
+	// level 2 serves only the top class.
+	top := s.cfg.classes - 1
+	switch lvl := int(s.ladderLevel.Load()); {
+	case lvl >= 2 && class < top,
+		lvl == 1 && !isGet && class < top:
+		s.account(class, "degraded", 0)
+		return 0, errDegraded
+	}
+
+	if err := sh.breaker.Allow(s.wallNs()); err != nil {
+		s.account(class, "breaker", 0)
+		return 0, errBreaker
+	}
+
+	req := &request{rank: local, isGet: isGet, class: class, enqueued: time.Now(), resp: make(chan respMsg, 1)}
+	select {
+	case sh.inbox <- req:
+	default:
+		// The operation never ran; give the breaker slot back without
+		// teaching the outcome window anything.
+		sh.breaker.Cancel()
+		s.account(class, "inbox_full", 0)
+		return 0, errInbox
+	}
+
+	timer := time.NewTimer(s.cfg.requestTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-req.resp:
+		latency := time.Since(req.enqueued)
+		switch {
+		case r.silent:
+			sh.breaker.Record(s.wallNs(), true) // the shard did its job
+			s.account(class, "dropped_silent", 0)
+			return 0, errSilentDrop
+		case errors.Is(r.err, errAQM):
+			sh.breaker.Record(s.wallNs(), true)
+			s.account(class, "aqm", 0)
+			return 0, r.err
+		case errors.Is(r.err, errCorrupt):
+			sh.breaker.Record(s.wallNs(), true)
+			s.account(class, "injected", 0)
+			return 0, r.err
+		case r.err != nil:
+			sh.breaker.Record(s.wallNs(), false)
+			s.account(class, "error", 0)
+			return 0, r.err
+		default:
+			sh.breaker.Record(s.wallNs(), true)
+			s.account(class, "ok", latency)
+			return r.cycles, nil
+		}
+	case <-timer.C:
+		// The worker is wedged or dead (crash mid-request loses the
+		// inbox'd work): a real dispatch failure the breaker should see.
+		sh.breaker.Record(s.wallNs(), false)
+		s.account(class, "timeout", 0)
+		return 0, errTimeout
+	}
+}
+
+// account counts one response and, for successes, observes latency.
+func (s *server) account(class int, outcome string, latency time.Duration) {
+	if class < 0 {
+		class = 0
+	}
+	if class >= s.cfg.classes {
+		class = s.cfg.classes - 1
+	}
+	s.ctrResp[class][outcome].Inc(0)
+	if outcome == "ok" {
+		s.histLat[class].Observe(0, float64(latency.Nanoseconds()))
+	}
+}
+
+// cmdChaos arms, clears, or triggers faults:
+//
+//	chaos arm <seed> <kind:prob[:magnitude][,kind:prob...]>
+//	chaos crash <shard>
+//	chaos clear
+//
+// Each shard gets its own injector seeded seed+shardID, so a plan is
+// reproducible per shard regardless of request interleaving.
+func (s *server) cmdChaos(args []string, bw *bufio.Writer) {
+	if len(args) == 0 {
+		bw.WriteString("CLIENT_ERROR usage: chaos arm|crash|clear\r\n")
+		return
+	}
+	switch args[0] {
+	case "arm":
+		if len(args) != 3 {
+			bw.WriteString("CLIENT_ERROR usage: chaos arm <seed> <spec>\r\n")
+			return
+		}
+		seed, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			bw.WriteString("CLIENT_ERROR bad seed\r\n")
+			return
+		}
+		events, err := parseChaosSpec(args[2])
+		if err != nil {
+			fmt.Fprintf(bw, "CLIENT_ERROR %v\r\n", err)
+			return
+		}
+		for _, sh := range s.shards {
+			inj, err := faults.NewInjector(faults.Plan{Seed: seed + int64(sh.id), Events: events})
+			if err != nil {
+				fmt.Fprintf(bw, "CLIENT_ERROR %v\r\n", err)
+				return
+			}
+			sh.setInjector(inj)
+		}
+		fmt.Fprintf(bw, "OK armed %d event(s) seed %d\r\n", len(events), seed)
+	case "crash":
+		if len(args) != 2 {
+			bw.WriteString("CLIENT_ERROR usage: chaos crash <shard>\r\n")
+			return
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil || id < 0 || id >= len(s.shards) {
+			bw.WriteString("CLIENT_ERROR bad shard id\r\n")
+			return
+		}
+		s.shards[id].crash.Store(true)
+		bw.WriteString("OK\r\n")
+	case "clear":
+		for _, sh := range s.shards {
+			sh.setInjector(nil)
+		}
+		bw.WriteString("OK\r\n")
+	default:
+		bw.WriteString("CLIENT_ERROR usage: chaos arm|crash|clear\r\n")
+	}
+}
+
+// parseChaosSpec parses "kind:prob[:magnitude]" clauses joined by commas.
+// Kinds: nic-drop, nic-corrupt, slowdown (magnitude = service-time
+// multiplier, applied to every core).
+func parseChaosSpec(spec string) ([]faults.Event, error) {
+	var events []faults.Event
+	for _, clause := range strings.Split(spec, ",") {
+		parts := strings.Split(clause, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("clause %q: want kind:prob[:magnitude]", clause)
+		}
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("clause %q: bad probability", clause)
+		}
+		e := faults.Event{Probability: prob, Core: -1}
+		switch parts[0] {
+		case "nic-drop":
+			e.Kind = faults.NICDrop
+		case "nic-corrupt":
+			e.Kind = faults.NICCorrupt
+		case "slowdown", "core-slowdown":
+			e.Kind = faults.CoreSlowdown
+			e.Magnitude = 2
+		default:
+			return nil, fmt.Errorf("clause %q: unknown kind (want nic-drop, nic-corrupt, slowdown)", clause)
+		}
+		if len(parts) >= 3 {
+			mag, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("clause %q: bad magnitude", clause)
+			}
+			e.Magnitude = mag
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func (s *server) cmdStats(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "STAT uptime_seconds %.1f\r\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(bw, "STAT state %s\r\n", s.lc.State())
+	fmt.Fprintf(bw, "STAT shards %d\r\n", len(s.shards))
+	fmt.Fprintf(bw, "STAT shards_down %d\r\n", s.shardsDown.Load())
+	fmt.Fprintf(bw, "STAT ladder_level %d\r\n", s.ladderLevel.Load())
+	fmt.Fprintf(bw, "STAT open_connections %d\r\n", s.openConns.Load())
+	for _, sh := range s.shards {
+		fmt.Fprintf(bw, "STAT shard%d_served %d\r\n", sh.id, sh.served.Load())
+		fmt.Fprintf(bw, "STAT shard%d_inbox %d\r\n", sh.id, len(sh.inbox))
+		fmt.Fprintf(bw, "STAT shard%d_breaker %s\r\n", sh.id, sh.breaker.State())
+	}
+	s.shedMu.Lock()
+	offered, shed := s.shed.Stats()
+	s.shedMu.Unlock()
+	for c := range offered {
+		fmt.Fprintf(bw, "STAT class%d_offered %d\r\n", c, offered[c])
+		fmt.Fprintf(bw, "STAT class%d_shed %d\r\n", c, shed[c])
+	}
+	bw.WriteString("END\r\n")
+}
+
+// checkpoint is the drain-time state dump: enough to audit what the
+// daemon did with the traffic it was given.
+type checkpointDoc struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Transitions   []string          `json:"transitions"`
+	Shards        []shardCheckpoint `json:"shards"`
+	ShedOffered   []uint64          `json:"shed_offered_by_class"`
+	ShedShed      []uint64          `json:"shed_shed_by_class"`
+	Ladder        struct {
+		Level       int    `json:"final_level"`
+		Escalations uint64 `json:"escalations"`
+		Recoveries  uint64 `json:"recoveries"`
+	} `json:"ladder"`
+	Workers []daemon.WorkerStatus `json:"workers"`
+}
+
+// Drain runs the graceful-shutdown sequence: stop admitting, wait out
+// in-flight requests (bounded), linger lame-duck, close sockets, stop
+// the workers, checkpoint, stop. Idempotent; extra calls wait via Done.
+func (s *server) Drain() {
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		began := s.lc.BeginDrain()
+		s.admitMu.Unlock()
+		if !began && s.lc.State() != daemon.StateDraining {
+			return
+		}
+		s.logf("slicekvsd: draining (in-flight bound %s, lame-duck %s)", s.cfg.drainTimeout, s.cfg.lameDuck)
+
+		flushed := make(chan struct{})
+		go func() { s.reqWG.Wait(); close(flushed) }()
+		select {
+		case <-flushed:
+		case <-time.After(s.cfg.drainTimeout):
+			s.logf("slicekvsd: drain timeout: abandoning stragglers")
+		}
+		if s.cfg.lameDuck > 0 {
+			time.Sleep(s.cfg.lameDuck)
+		}
+
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.closeConns()
+		s.connWG.Wait()
+		close(s.tickStop)
+		<-s.tickDone
+		s.sup.Stop()
+
+		s.lc.SetStopped()
+		if s.cfg.checkpoint != "" {
+			if err := s.writeCheckpoint(s.cfg.checkpoint); err != nil {
+				s.logf("slicekvsd: checkpoint: %v", err)
+			}
+		}
+		if s.http != nil {
+			s.http.Close()
+		}
+		s.logf("slicekvsd: stopped")
+	})
+	<-s.lc.Done()
+}
+
+// writeCheckpoint dumps the drain checkpoint. Called after the workers
+// stopped, so reading the single-threaded stores is safe.
+func (s *server) writeCheckpoint(path string) error {
+	restarts := map[int]uint64{}
+	for _, w := range s.sup.Snapshot() {
+		restarts[w.ID] = uint64(w.Restarts)
+	}
+	var doc checkpointDoc
+	doc.UptimeSeconds = time.Since(s.start).Seconds()
+	for _, st := range s.lc.Transitions() {
+		doc.Transitions = append(doc.Transitions, st.String())
+	}
+	for _, sh := range s.shards {
+		doc.Shards = append(doc.Shards, sh.checkpoint(restarts[sh.id]))
+	}
+	s.shedMu.Lock()
+	doc.ShedOffered, doc.ShedShed = s.shed.Stats()
+	s.shedMu.Unlock()
+	doc.Ladder.Level = int(s.ladderLevel.Load())
+	st := s.ladder.Stats()
+	doc.Ladder.Escalations = st.Escalations
+	doc.Ladder.Recoveries = st.Recoveries
+	doc.Workers = s.sup.Snapshot()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,430 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig is a small, fast server for in-process tests.
+func testConfig() config {
+	cfg := defaultConfig()
+	cfg.addr = "127.0.0.1:0"
+	cfg.httpAddr = "127.0.0.1:0"
+	cfg.shards = 2
+	cfg.keys = 1 << 10
+	cfg.warmup = 8
+	cfg.requestTimeout = 30 * time.Second
+	cfg.drainTimeout = 30 * time.Second
+	return cfg
+}
+
+func startServer(t *testing.T, cfg config) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.logf = t.Logf
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Drain)
+	return s
+}
+
+// client is a tiny blocking protocol client for tests.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialClient(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (c *client) send(line string) {
+	c.t.Helper()
+	if _, err := io.WriteString(c.conn, line+"\r\n"); err != nil {
+		c.t.Fatalf("send %q: %v", line, err)
+	}
+}
+
+func (c *client) line() string {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	l, err := c.br.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return strings.TrimRight(l, "\r\n")
+}
+
+// get issues a single-key GET and returns the response lines up to END
+// or an error line.
+func (c *client) get(key string) []string {
+	c.t.Helper()
+	c.send("get " + key)
+	var lines []string
+	for {
+		l := c.line()
+		lines = append(lines, l)
+		if l == "END" || strings.HasPrefix(l, "SERVER_ERROR") || strings.HasPrefix(l, "CLIENT_ERROR") || l == "ERROR" {
+			return lines
+		}
+	}
+}
+
+func (c *client) set(key, val string) string {
+	c.t.Helper()
+	c.send(fmt.Sprintf("set %s 0 0 %d", key, len(val)))
+	if _, err := io.WriteString(c.conn, val+"\r\n"); err != nil {
+		c.t.Fatalf("set body: %v", err)
+	}
+	return c.line()
+}
+
+func TestProtocolBasics(t *testing.T) {
+	s := startServer(t, testConfig())
+	c := dialClient(t, s.Addr())
+
+	if got := c.set("k5", "hello"); got != "STORED" {
+		t.Fatalf("set = %q, want STORED", got)
+	}
+	lines := c.get("k5")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "VALUE k5 0 64") || lines[2] != "END" {
+		t.Fatalf("get = %v, want VALUE k5/payload/END", lines)
+	}
+	if !strings.HasPrefix(lines[1], "rank=5;") {
+		t.Fatalf("payload = %q, want rank=5 prefix", lines[1])
+	}
+
+	// Arbitrary keys hash into the keyspace.
+	if lines := c.get("some-opaque-key"); lines[len(lines)-1] != "END" {
+		t.Fatalf("hashed-key get = %v", lines)
+	}
+
+	c.send("prio 3")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("prio = %q, want OK", got)
+	}
+	c.send("prio 99")
+	if got := c.line(); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("prio 99 = %q, want CLIENT_ERROR", got)
+	}
+
+	c.send("version")
+	if got := c.line(); !strings.HasPrefix(got, "VERSION") {
+		t.Fatalf("version = %q", got)
+	}
+	c.send("bogus")
+	if got := c.line(); got != "ERROR" {
+		t.Fatalf("bogus command = %q, want ERROR", got)
+	}
+
+	c.send("stats")
+	stats := map[string]string{}
+	for {
+		l := c.line()
+		if l == "END" {
+			break
+		}
+		f := strings.Fields(l)
+		if len(f) == 3 && f[0] == "STAT" {
+			stats[f[1]] = f[2]
+		}
+	}
+	if stats["state"] != "ready" || stats["shards"] != "2" {
+		t.Fatalf("stats = %v, want state ready / shards 2", stats)
+	}
+}
+
+func TestHealthAndMetricsSidecar(t *testing.T) {
+	s := startServer(t, testConfig())
+	base := "http://" + s.HTTPAddr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ready" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+
+	// Serve traffic, then check it shows up on /metrics.
+	c := dialClient(t, s.Addr())
+	for i := 0; i < 10; i++ {
+		c.get(fmt.Sprintf("k%d", i))
+	}
+	_, body := get("/metrics")
+	for _, w := range []string{
+		`slicekvsd_responses_total{class="0",outcome="ok"}`,
+		`slicekvsd_requests_total{op="get"}`,
+		`slicekvsd_request_latency_ns_bucket{class="0",le=`,
+		"slicekvsd_state 1",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metrics missing %q", w)
+		}
+	}
+}
+
+// TestGracefulDrain is the satellite-3 coverage: an in-flight request
+// completes, new connections are refused with a retryable error, and the
+// whole drain finishes within its deadline.
+func TestGracefulDrain(t *testing.T) {
+	cfg := testConfig()
+	cfg.lameDuck = 2 * time.Second // keep the refusal window observable
+	cfg.checkpoint = filepath.Join(t.TempDir(), "checkpoint.json")
+	s := startServer(t, cfg)
+
+	// Slow every request so one is plausibly in flight when the drain
+	// starts; correctness does not depend on winning that race.
+	admin := dialClient(t, s.Addr())
+	admin.send("chaos arm 42 slowdown:1:2000000")
+	if got := admin.line(); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("chaos arm = %q", got)
+	}
+
+	inflight := dialClient(t, s.Addr())
+	type result struct{ lines []string }
+	done := make(chan result, 1)
+	go func() {
+		done <- result{inflight.get("k9")}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+
+	// New connections must be refused with a retryable error while
+	// draining (the listener stays open through the lame-duck window).
+	deadline := time.Now().Add(5 * time.Second)
+	refused := false
+	for time.Now().Before(deadline) && !refused {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			break // listener closed: drain finished before we observed it
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err == nil && strings.Contains(line, "draining") {
+			if !strings.Contains(line, "retryable") {
+				t.Fatalf("drain refusal %q not marked retryable", line)
+			}
+			refused = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("never observed a draining refusal on a new connection")
+	}
+
+	// The in-flight request must have completed with a real response.
+	select {
+	case r := <-done:
+		last := r.lines[len(r.lines)-1]
+		if last != "END" {
+			t.Fatalf("in-flight request ended %v, want END", r.lines)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(cfg.drainTimeout + cfg.lameDuck + 10*time.Second):
+		t.Fatal("drain did not finish within its bound")
+	}
+
+	// Checkpoint written and coherent.
+	b, err := os.ReadFile(cfg.checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc checkpointDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Shards) != cfg.shards {
+		t.Fatalf("checkpoint has %d shards, want %d", len(doc.Shards), cfg.shards)
+	}
+	wantTransitions := []string{"starting", "ready", "draining", "stopped"}
+	if len(doc.Transitions) != len(wantTransitions) {
+		t.Fatalf("transitions = %v, want %v", doc.Transitions, wantTransitions)
+	}
+	for i, w := range wantTransitions {
+		if doc.Transitions[i] != w {
+			t.Fatalf("transitions = %v, want %v", doc.Transitions, wantTransitions)
+		}
+	}
+	var served uint64
+	for _, sh := range doc.Shards {
+		served += sh.Served
+	}
+	if served == 0 {
+		t.Fatal("checkpoint records zero served requests")
+	}
+}
+
+// TestCrashedShardRestartsAndRecovers drives the supervisor end to end:
+// an injected shard crash loses the in-flight request (timeout), the
+// worker restarts, and the shard serves again.
+func TestCrashedShardRestartsAndRecovers(t *testing.T) {
+	cfg := testConfig()
+	cfg.requestTimeout = 500 * time.Millisecond
+	cfg.breakerCooldown = 100 * time.Millisecond
+	s := startServer(t, cfg)
+	c := dialClient(t, s.Addr())
+
+	c.send("chaos crash 0")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("chaos crash = %q", got)
+	}
+	// k0 routes to shard 0; the worker panics on it.
+	lines := c.get("k0")
+	if !strings.HasPrefix(lines[0], "SERVER_ERROR") {
+		t.Fatalf("request to crashed shard = %v, want SERVER_ERROR", lines)
+	}
+
+	// The supervisor restarts the worker; eventually requests succeed
+	// again (retry through the breaker cooldown).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		lines := c.get("k0")
+		if lines[len(lines)-1] == "END" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never recovered; last response %v", lines)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	st := s.sup.Snapshot()
+	if len(st) != cfg.shards || st[0].Restarts < 1 {
+		t.Fatalf("supervisor snapshot %+v, want ≥1 restart of shard 0", st)
+	}
+}
+
+// TestOverloadShedsLowClassFirst saturates the shards with slow requests
+// and checks the admission guard's ordering: the refused share of class 0
+// must be at least that of the top class, and the server must survive to
+// serve cleanly after the storm.
+func TestOverloadShedsLowClassFirst(t *testing.T) {
+	cfg := testConfig()
+	cfg.shards = 1
+	cfg.inbox = 8
+	cfg.requestTimeout = 5 * time.Second
+	s := startServer(t, cfg)
+
+	admin := dialClient(t, s.Addr())
+	admin.send("chaos arm 7 slowdown:1:200000")
+	if got := admin.line(); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("chaos arm = %q", got)
+	}
+
+	var wg sync.WaitGroup
+	refusals := make([]int, 2) // [low, high]
+	oks := make([]int, 2)
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cls, idx := 0, 0
+			if w%4 == 0 {
+				cls, idx = cfg.classes-1, 1
+			}
+			c := dialClient(t, s.Addr())
+			c.send(fmt.Sprintf("prio %d", cls))
+			c.line()
+			for i := 0; i < 40; i++ {
+				lines := c.get(fmt.Sprintf("k%d", i))
+				mu.Lock()
+				if lines[len(lines)-1] == "END" {
+					oks[idx]++
+				} else {
+					refusals[idx]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	t.Logf("low class: %d ok / %d refused; top class: %d ok / %d refused",
+		oks[0], refusals[0], oks[1], refusals[1])
+	lowTotal, highTotal := oks[0]+refusals[0], oks[1]+refusals[1]
+	if lowTotal == 0 || highTotal == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	lowFrac := float64(refusals[0]) / float64(lowTotal)
+	highFrac := float64(refusals[1]) / float64(highTotal)
+	if lowFrac < highFrac {
+		t.Fatalf("class 0 refused %.2f < top class refused %.2f: priority inverted", lowFrac, highFrac)
+	}
+
+	// Clear the chaos; the server must serve cleanly again.
+	admin.send("chaos clear")
+	if got := admin.line(); got != "OK" {
+		t.Fatalf("chaos clear = %q", got)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lines := admin.get("k1")
+		if lines[len(lines)-1] == "END" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after chaos clear: %v", lines)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosNICDropIsSilent checks that an injected NIC drop answers with
+// nothing at all — the client's read deadline, not a refusal, reports it.
+func TestChaosNICDropIsSilent(t *testing.T) {
+	s := startServer(t, testConfig())
+	c := dialClient(t, s.Addr())
+	c.send("chaos arm 1 nic-drop:1")
+	if got := c.line(); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("chaos arm = %q", got)
+	}
+	c.send("get k3")
+	c.conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.br.ReadString('\n'); err == nil {
+		t.Fatal("dropped request produced a response")
+	}
+}

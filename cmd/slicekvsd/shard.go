@@ -1,0 +1,273 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sliceaware/internal/arch"
+	"sliceaware/internal/cpusim"
+	"sliceaware/internal/faults"
+	"sliceaware/internal/kvs"
+	"sliceaware/internal/overload"
+	"sliceaware/internal/zipf"
+)
+
+// Retryable protocol-level refusals. Every message contains "retryable" so
+// clients can classify without a table of reasons.
+var (
+	errShed     = errors.New("overloaded: shed (retryable)")
+	errInbox    = errors.New("overloaded: shard queue full (retryable)")
+	errAQM      = errors.New("overloaded: aqm drop (retryable)")
+	errDegraded = errors.New("degraded: request class refused at this level (retryable)")
+	errBreaker  = errors.New("shard unavailable: breaker open (retryable)")
+	errTimeout  = errors.New("timeout: shard did not answer (retryable)")
+	errDraining = errors.New("draining: server is shutting down (retryable)")
+	errCorrupt  = errors.New("injected: frame corrupt (retryable)")
+)
+
+// request is one admitted protocol request travelling to a shard worker.
+type request struct {
+	rank     uint64 // shard-local key rank
+	isGet    bool
+	class    int
+	enqueued time.Time
+	resp     chan respMsg // buffered(1): the worker never blocks on reply
+}
+
+// respMsg is the worker's answer.
+type respMsg struct {
+	cycles uint64
+	err    error
+	silent bool // injected NIC drop: reply with nothing at all
+}
+
+// shard is one goroutine-pinned slice of the keyspace: its own simulated
+// machine, its own slice-aware store, a bounded inbox, an AQM on that
+// inbox, a circuit breaker guarding dispatch, and an optional fault
+// injector. Only the worker goroutine touches machine/store/aqm/injector;
+// everything the connection handlers read is a channel, an atomic, or the
+// SyncBreaker.
+type shard struct {
+	id    int
+	core  int
+	keys  uint64 // store keyspace size
+	store *kvs.Store
+	inbox chan *request
+
+	breaker *overload.SyncBreaker
+	aqm     overload.AQM
+
+	injMu    sync.Mutex
+	injector *faults.Injector
+
+	crash atomic.Bool // next request panics the worker (chaos crash)
+
+	served   atomic.Uint64
+	aqmDrops atomic.Uint64
+
+	// sojournBits holds the float64 bits of an EWMA of queue wait (ns).
+	// The worker is the writer on every dequeue; the pressure ticker
+	// decays it while the queue is idle; admission reads it. Occupancy
+	// alone is blind to closed-loop overload — a handful of connections
+	// can queue milliseconds of work in a nearly-empty inbox — so queue
+	// delay is the daemon's primary pressure signal, as in CoDel.
+	sojournBits atomic.Uint64
+
+	start time.Time // process start; the AQM clock origin
+	freq  float64   // simulated core frequency, for slowdown sleeps
+}
+
+// newShard builds one shard over keysPerShard keys.
+func newShard(id int, cfg config, start time.Time) (*shard, error) {
+	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	core := id % m.Cores()
+	store, err := kvs.New(m, kvs.Config{
+		Keys:        cfg.keysPerShard(),
+		ServingCore: core,
+		SliceAware:  cfg.sliceAware,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	breaker, err := overload.NewSyncBreaker(overload.BreakerConfig{
+		Window:         32,
+		Cooldown:       float64(cfg.breakerCooldown.Nanoseconds()),
+		HalfOpenProbes: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:      id,
+		core:    core,
+		keys:    cfg.keysPerShard(),
+		store:   store,
+		inbox:   make(chan *request, cfg.inbox),
+		breaker: breaker,
+		start:   start,
+		freq:    m.Profile.FrequencyHz,
+	}
+	switch cfg.aqm {
+	case "codel":
+		a, err := overload.NewCoDel(overload.CoDelConfig{
+			TargetNs:   float64(cfg.aqmTarget.Nanoseconds()),
+			IntervalNs: float64(cfg.aqmInterval.Nanoseconds()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sh.aqm = a
+	case "red":
+		a, err := overload.NewRED(overload.REDConfig{Seed: int64(1000 + id)})
+		if err != nil {
+			return nil, err
+		}
+		sh.aqm = a
+	case "none":
+	default:
+		return nil, fmt.Errorf("slicekvsd: unknown aqm %q (want codel, red, or none)", cfg.aqm)
+	}
+	return sh, nil
+}
+
+// warm touches the hot prefix so the first live requests do not pay
+// compulsory-miss latency the steady state never sees. Called before the
+// worker starts — single-threaded, like every other store access.
+func (sh *shard) warm(requests int) error {
+	if requests <= 0 {
+		return nil
+	}
+	gen, err := zipf.NewZipf(rand.New(rand.NewSource(int64(77+sh.id))), sh.keys, 0.99)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < requests; i++ {
+		if _, err := sh.store.ServeOne(gen.Next(), true); err != nil && !errors.Is(err, kvs.ErrDropped) {
+			return err
+		}
+	}
+	return nil
+}
+
+// setInjector atomically swaps the shard's fault injector (nil disarms).
+func (sh *shard) setInjector(inj *faults.Injector) {
+	sh.injMu.Lock()
+	sh.injector = inj
+	sh.injMu.Unlock()
+}
+
+func (sh *shard) getInjector() *faults.Injector {
+	sh.injMu.Lock()
+	defer sh.injMu.Unlock()
+	return sh.injector
+}
+
+// run is the supervised worker loop: one goroutine, pinned to an OS
+// thread the way a DPDK lcore is pinned to a physical core.
+func (sh *shard) run(stop <-chan struct{}) error {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case req := <-sh.inbox:
+			sh.serve(req)
+		}
+	}
+}
+
+// sojournEwma reads the smoothed queue-wait estimate in nanoseconds.
+func (sh *shard) sojournEwma() float64 {
+	return math.Float64frombits(sh.sojournBits.Load())
+}
+
+// decaySojourn relaxes the estimate toward zero — called by the pressure
+// ticker while the inbox is empty, so a burst's ghost does not keep
+// shedding an idle shard.
+func (sh *shard) decaySojourn() {
+	old := sh.sojournEwma()
+	if old > 0 {
+		sh.sojournBits.Store(math.Float64bits(old * 0.8))
+	}
+}
+
+// serve executes one request on the shard's simulated machine.
+func (sh *shard) serve(req *request) {
+	now := time.Now()
+	sojournNs := float64(now.Sub(req.enqueued).Nanoseconds())
+	sh.sojournBits.Store(math.Float64bits(sh.sojournEwma()*0.875 + sojournNs*0.125))
+	if sh.aqm != nil {
+		nowNs := float64(now.Sub(sh.start).Nanoseconds())
+		if err := sh.aqm.Admit(nowNs, len(sh.inbox)+1, cap(sh.inbox), sojournNs); err != nil {
+			sh.aqmDrops.Add(1)
+			req.resp <- respMsg{err: errAQM}
+			return
+		}
+	}
+
+	inj := sh.getInjector()
+	if inj.Fire(faults.NICDrop) {
+		// A lost packet answers with nothing — the client's timeout/retry
+		// path is the thing this fault exists to exercise.
+		req.resp <- respMsg{silent: true}
+		return
+	}
+	if inj.Fire(faults.NICCorrupt) {
+		req.resp <- respMsg{err: errCorrupt}
+		return
+	}
+	if sh.crash.CompareAndSwap(true, false) {
+		panic(fmt.Sprintf("slicekvsd: injected crash on shard %d", sh.id))
+	}
+
+	scale := inj.ServiceScale(sh.core)
+	cycles, err := sh.store.ServeOne(req.rank, req.isGet)
+	if err != nil {
+		req.resp <- respMsg{err: err}
+		return
+	}
+	if scale > 1 {
+		// A slowed core takes real wall time: stretch this request by the
+		// simulated service time times (scale-1).
+		extra := time.Duration(float64(cycles) / sh.freq * (scale - 1) * float64(time.Second))
+		time.Sleep(extra)
+	}
+	sh.served.Add(1)
+	req.resp <- respMsg{cycles: cycles}
+}
+
+// shardCheckpoint is one shard's slice of the drain checkpoint.
+type shardCheckpoint struct {
+	ID           int    `json:"id"`
+	Core         int    `json:"core"`
+	Gets         uint64 `json:"gets"`
+	Sets         uint64 `json:"sets"`
+	Served       uint64 `json:"served"`
+	AQMDrops     uint64 `json:"aqm_drops"`
+	Restarts     uint64 `json:"restarts"`
+	BreakerState string `json:"breaker_state"`
+}
+
+func (sh *shard) checkpoint(restarts uint64) shardCheckpoint {
+	gets, sets := sh.store.Counts()
+	return shardCheckpoint{
+		ID:           sh.id,
+		Core:         sh.core,
+		Gets:         gets,
+		Sets:         sets,
+		Served:       sh.served.Load(),
+		AQMDrops:     sh.aqmDrops.Load(),
+		Restarts:     restarts,
+		BreakerState: sh.breaker.State().String(),
+	}
+}

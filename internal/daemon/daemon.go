@@ -1,0 +1,138 @@
+// Package daemon is the long-running-process layer of the reproduction:
+// the pieces a real server needs around the simulated pipeline — a
+// lifecycle state machine with graceful drain, a supervisor that restarts
+// crashed workers with exponential backoff, and the health/metrics HTTP
+// sidecar. cmd/slicekvsd assembles all three around the sharded KVS; the
+// package itself knows nothing about the protocol or the stores, so any
+// future daemon (an NFV forwarder, a fleet orchestrator agent) reuses it
+// unchanged.
+//
+// Unlike the simulator packages, daemon code runs on the wall clock and is
+// safe for concurrent use — that is its entire reason to exist. The state
+// machine is deliberately small:
+//
+//	Starting ──SetReady──▶ Ready ──BeginDrain──▶ Draining ──SetStopped──▶ Stopped
+//	    └────────────────BeginDrain──────────────────▲
+//
+// Draining means: stop taking new work, finish what is in flight, then
+// stop. There are no backward edges — a draining daemon never becomes
+// ready again; restart the process instead (crash-only philosophy).
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a lifecycle stage.
+type State int32
+
+const (
+	// StateStarting is the boot stage: shards warming, listeners not yet
+	// accepting. /readyz fails.
+	StateStarting State = iota
+	// StateReady is normal service.
+	StateReady
+	// StateDraining is the lame-duck stage: new connections are refused
+	// with a retryable error, in-flight requests complete.
+	StateDraining
+	// StateStopped is terminal: all workers stopped, checkpoint written.
+	StateStopped
+)
+
+// String implements fmt.Stringer; these exact strings are the /healthz
+// body, so the smoke tests and load balancers match on them.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Lifecycle is the concurrency-safe state machine. The zero value is not
+// usable; call NewLifecycle.
+type Lifecycle struct {
+	state atomic.Int32
+
+	mu          sync.Mutex
+	transitions []State // every state ever entered, in order (tests/checkpoint)
+
+	drainCh chan struct{} // closed on entering Draining
+	doneCh  chan struct{} // closed on entering Stopped
+}
+
+// NewLifecycle starts a lifecycle in StateStarting.
+func NewLifecycle() *Lifecycle {
+	l := &Lifecycle{
+		drainCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	l.transitions = []State{StateStarting}
+	return l
+}
+
+// State reports the current stage.
+func (l *Lifecycle) State() State { return State(l.state.Load()) }
+
+// Transitions returns every stage entered so far, in order.
+func (l *Lifecycle) Transitions() []State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]State(nil), l.transitions...)
+}
+
+// advance moves from → to atomically; reports whether it won the race.
+func (l *Lifecycle) advance(from, to State) bool {
+	if !l.state.CompareAndSwap(int32(from), int32(to)) {
+		return false
+	}
+	l.mu.Lock()
+	l.transitions = append(l.transitions, to)
+	l.mu.Unlock()
+	return true
+}
+
+// SetReady moves Starting→Ready. It fails if the daemon already left
+// Starting (e.g. a drain raced the boot).
+func (l *Lifecycle) SetReady() error {
+	if !l.advance(StateStarting, StateReady) {
+		return fmt.Errorf("daemon: cannot become ready from %s", l.State())
+	}
+	return nil
+}
+
+// BeginDrain moves Ready→Draining (or Starting→Draining, for a signal
+// during boot) and closes the Draining channel. Idempotent: repeated calls
+// report false without error.
+func (l *Lifecycle) BeginDrain() bool {
+	if l.advance(StateReady, StateDraining) || l.advance(StateStarting, StateDraining) {
+		close(l.drainCh)
+		return true
+	}
+	return false
+}
+
+// SetStopped moves Draining→Stopped and closes the Done channel.
+// Stopping without draining first is a programming error.
+func (l *Lifecycle) SetStopped() error {
+	if !l.advance(StateDraining, StateStopped) {
+		return fmt.Errorf("daemon: cannot stop from %s (drain first)", l.State())
+	}
+	close(l.doneCh)
+	return nil
+}
+
+// Draining returns a channel closed when the drain begins — select on it
+// in accept loops and tickers.
+func (l *Lifecycle) Draining() <-chan struct{} { return l.drainCh }
+
+// Done returns a channel closed when the daemon has fully stopped.
+func (l *Lifecycle) Done() <-chan struct{} { return l.doneCh }

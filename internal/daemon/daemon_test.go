@@ -1,0 +1,111 @@
+package daemon
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestLifecycleHappyPath(t *testing.T) {
+	lc := NewLifecycle()
+	if lc.State() != StateStarting {
+		t.Fatalf("initial state = %v, want starting", lc.State())
+	}
+	if err := lc.SetReady(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lc.Draining():
+		t.Fatal("draining channel closed before BeginDrain")
+	default:
+	}
+	if !lc.BeginDrain() {
+		t.Fatal("BeginDrain from ready reported false")
+	}
+	select {
+	case <-lc.Draining():
+	default:
+		t.Fatal("draining channel not closed after BeginDrain")
+	}
+	if lc.BeginDrain() {
+		t.Fatal("second BeginDrain reported true")
+	}
+	if err := lc.SetStopped(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-lc.Done():
+	default:
+		t.Fatal("done channel not closed after SetStopped")
+	}
+	want := []State{StateStarting, StateReady, StateDraining, StateStopped}
+	got := lc.Transitions()
+	if len(got) != len(want) {
+		t.Fatalf("transitions %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLifecycleInvalidEdges(t *testing.T) {
+	lc := NewLifecycle()
+	if err := lc.SetStopped(); err == nil {
+		t.Fatal("SetStopped from starting must fail")
+	}
+	lc.BeginDrain() // starting → draining is legal (signal during boot)
+	if lc.State() != StateDraining {
+		t.Fatalf("state = %v, want draining", lc.State())
+	}
+	if err := lc.SetReady(); err == nil {
+		t.Fatal("SetReady after drain began must fail")
+	}
+	if err := lc.SetStopped(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	lc := NewLifecycle()
+	mux := Mux(lc, nil, nil)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		body, _ := io.ReadAll(rec.Result().Body)
+		return rec.Code, strings.TrimSpace(string(body))
+	}
+
+	if code, body := get("/readyz"); code != 503 || body != "starting" {
+		t.Errorf("starting /readyz = %d %q, want 503 starting", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "starting" {
+		t.Errorf("starting /healthz = %d %q", code, body)
+	}
+
+	if err := lc.SetReady(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != 200 || body != "ok" {
+		t.Errorf("ready /readyz = %d %q, want 200 ok", code, body)
+	}
+	if _, body := get("/healthz"); body != "ready" {
+		t.Errorf("ready /healthz body = %q", body)
+	}
+
+	lc.BeginDrain()
+	if code, body := get("/readyz"); code != 503 || body != "draining" {
+		t.Errorf("draining /readyz = %d %q, want 503 draining", code, body)
+	}
+	if _, body := get("/healthz"); body != "draining" {
+		t.Errorf("draining /healthz body = %q", body)
+	}
+
+	if _, body := get("/healthz?format=json"); !strings.Contains(body, `"state":"draining"`) {
+		t.Errorf("json healthz = %q, want state draining", body)
+	}
+}

@@ -1,0 +1,55 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// HealthInfo is the /healthz JSON-mode payload and the programmatic
+// snapshot behind the plain-text probe endpoints.
+type HealthInfo struct {
+	State          string         `json:"state"`
+	ShardsDegraded int            `json:"shards_degraded"`
+	Workers        []WorkerStatus `json:"workers,omitempty"`
+}
+
+// Mux builds the daemon's HTTP sidecar:
+//
+//   - GET /healthz — liveness + state: always 200 while the process runs,
+//     body is the lifecycle state ("ready", "draining", ...). With
+//     ?format=json, a HealthInfo document including worker status. A dead
+//     process answers nothing, which is the "down" a prober observes.
+//   - GET /readyz — readiness: 200 "ok" only in StateReady, else 503 with
+//     the state name. Load balancers stop routing the moment a drain
+//     begins.
+//   - GET /metrics — the handler passed in (Prometheus exposition).
+//
+// sup may be nil (no worker status in /healthz). metrics may be nil (404).
+func Mux(lc *Lifecycle, sup *Supervisor, metrics http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		info := HealthInfo{State: lc.State().String()}
+		if sup != nil {
+			info.ShardsDegraded = sup.Down()
+			info.Workers = sup.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(info)
+			return
+		}
+		fmt.Fprintln(w, info.State)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if st := lc.State(); st != StateReady {
+			http.Error(w, st.String(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
+	return mux
+}

@@ -1,0 +1,256 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WorkerFunc is one supervised worker loop. It must run until the stop
+// channel closes (then return nil) or until it fails (return an error).
+// Panics are recovered by the supervisor and treated as failures — the
+// crash-only path the chaos plan exercises.
+type WorkerFunc func(stop <-chan struct{}) error
+
+// SupervisorConfig tunes restart behaviour. Zero values take the
+// documented defaults.
+type SupervisorConfig struct {
+	// BackoffBase is the delay before the first restart (default 10 ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (default 2 s).
+	BackoffMax time.Duration
+	// ResetAfter is how long a worker must stay up for its consecutive-
+	// failure count (and so its backoff) to reset (default 5 s).
+	ResetAfter time.Duration
+	// MaxRestarts gives up on a worker after this many consecutive
+	// failures, leaving it down for good (0 = never give up).
+	MaxRestarts int
+	// OnStateChange, if set, fires on every worker transition: up=false
+	// when a worker crashes (with its error), up=true when it restarts.
+	// Called from the supervision goroutine; keep it fast and do not call
+	// back into the Supervisor.
+	OnStateChange func(id int, up bool, restarts int, err error)
+	// Sleep substitutes the backoff sleep (tests inject a recorder). The
+	// default sleeps on a timer but returns early when the supervisor is
+	// stopped, so shutdown never waits out a backoff.
+	Sleep func(d time.Duration)
+}
+
+// WorkerStatus is one worker's supervision snapshot.
+type WorkerStatus struct {
+	ID       int
+	Name     string
+	Up       bool
+	GaveUp   bool
+	Restarts uint64 // total restarts over the worker's lifetime
+	LastErr  string
+}
+
+// Supervisor keeps a set of named workers running: each worker gets its
+// own goroutine, panic recovery, exponential restart backoff, and a
+// consecutive-failure budget. This is the one-level supervision tree of
+// crash-only designs — workers hold no state the process cannot rebuild,
+// so "restart with backoff" is a complete recovery strategy.
+type Supervisor struct {
+	cfg  SupervisorConfig
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	workers map[int]*workerState
+	stopped bool
+}
+
+type workerState struct {
+	name     string
+	up       bool
+	gaveUp   bool
+	restarts uint64
+	lastErr  string
+}
+
+// NewSupervisor builds a supervisor, applying defaults for zero fields.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.ResetAfter == 0 {
+		cfg.ResetAfter = 5 * time.Second
+	}
+	s := &Supervisor{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		workers: make(map[int]*workerState),
+	}
+	if s.cfg.Sleep == nil {
+		s.cfg.Sleep = func(d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-s.stop:
+			}
+		}
+	}
+	return s
+}
+
+// Start supervises w under the given id/name. Calling Start after Stop is
+// an error.
+func (s *Supervisor) Start(id int, name string, w WorkerFunc) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("daemon: supervisor already stopped")
+	}
+	if _, dup := s.workers[id]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("daemon: worker id %d already supervised", id)
+	}
+	st := &workerState{name: name, up: true}
+	s.workers[id] = st
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.supervise(id, st, w)
+	return nil
+}
+
+// supervise is the per-worker restart loop.
+func (s *Supervisor) supervise(id int, st *workerState, w WorkerFunc) {
+	defer s.wg.Done()
+	consecutive := 0
+	for {
+		started := time.Now()
+		err := runRecovered(w, s.stop)
+
+		select {
+		case <-s.stop:
+			// Shutdown requested: whatever the worker returned, we are done.
+			s.setDown(st, err, false)
+			return
+		default:
+		}
+
+		// Unexpected exit (error, panic, or premature nil return).
+		if time.Since(started) >= s.cfg.ResetAfter {
+			consecutive = 0 // it ran healthily for a while; forgive history
+		}
+		consecutive++
+		restarts := s.setDown(st, err, false)
+		if s.cfg.OnStateChange != nil {
+			s.cfg.OnStateChange(id, false, restarts, err)
+		}
+		if s.cfg.MaxRestarts > 0 && consecutive > s.cfg.MaxRestarts {
+			s.setDown(st, err, true)
+			return
+		}
+
+		backoff := s.cfg.BackoffBase
+		for i := 1; i < consecutive && backoff < s.cfg.BackoffMax; i++ {
+			backoff *= 2
+		}
+		if backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+		s.cfg.Sleep(backoff)
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+
+		s.mu.Lock()
+		st.up = true
+		st.restarts++
+		restarts = int(st.restarts)
+		s.mu.Unlock()
+		if s.cfg.OnStateChange != nil {
+			s.cfg.OnStateChange(id, true, restarts, nil)
+		}
+	}
+}
+
+// setDown marks a worker down and returns its lifetime restart count.
+func (s *Supervisor) setDown(st *workerState, err error, gaveUp bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.up = false
+	if gaveUp {
+		st.gaveUp = true
+	}
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+	return int(st.restarts)
+}
+
+// runRecovered invokes the worker with panic recovery.
+func runRecovered(w WorkerFunc, stop <-chan struct{}) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("daemon: worker panic: %v", r)
+		}
+	}()
+	if e := w(stop); e != nil {
+		return e
+	}
+	select {
+	case <-stop:
+		return nil
+	default:
+		return fmt.Errorf("daemon: worker returned without being stopped")
+	}
+}
+
+// Stop asks every worker to stop and waits for the supervision loops to
+// exit. Idempotent.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Snapshot reports every worker's supervision state, ordered by id.
+func (s *Supervisor) Snapshot() []WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(s.workers))
+	for id, st := range s.workers {
+		out = append(out, WorkerStatus{
+			ID: id, Name: st.name, Up: st.up, GaveUp: st.gaveUp,
+			Restarts: st.restarts, LastErr: st.lastErr,
+		})
+	}
+	// Insertion sort by id: worker counts are small (one per shard).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Down counts workers currently not up (crashed, backing off, or given
+// up) — the degraded-shard signal the ladder floor hangs off.
+func (s *Supervisor) Down() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.workers {
+		if !st.up {
+			n++
+		}
+	}
+	return n
+}

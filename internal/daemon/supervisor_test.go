@@ -1,0 +1,148 @@
+package daemon
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestSupervisorRestartsPanickedWorker(t *testing.T) {
+	var runs atomic.Int64
+	var sleeps struct {
+		sync.Mutex
+		ds []time.Duration
+	}
+	sup := NewSupervisor(SupervisorConfig{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  8 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			sleeps.Lock()
+			sleeps.ds = append(sleeps.ds, d)
+			sleeps.Unlock()
+		},
+	})
+	err := sup.Start(0, "shard-0", func(stop <-chan struct{}) error {
+		n := runs.Add(1)
+		if n <= 5 {
+			panic("chaos")
+		}
+		<-stop
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return runs.Load() >= 6 }, "worker not restarted after panics")
+	waitFor(t, 2*time.Second, func() bool { return sup.Down() == 0 }, "worker not marked up after recovery")
+	sup.Stop()
+
+	st := sup.Snapshot()
+	if len(st) != 1 || st[0].Restarts != 5 {
+		t.Fatalf("snapshot %+v, want 5 restarts", st)
+	}
+	if st[0].LastErr == "" || st[0].GaveUp {
+		t.Fatalf("snapshot %+v: want recorded panic error and no give-up", st[0])
+	}
+	// Exponential backoff: 1, 2, 4, 8, 8 ms.
+	sleeps.Lock()
+	defer sleeps.Unlock()
+	want := []time.Duration{1, 2, 4, 8, 8}
+	if len(sleeps.ds) != len(want) {
+		t.Fatalf("backoff sleeps %v, want %d entries", sleeps.ds, len(want))
+	}
+	for i, w := range want {
+		if sleeps.ds[i] != w*time.Millisecond {
+			t.Fatalf("backoff sleeps %v, want doubling to the cap", sleeps.ds)
+		}
+	}
+}
+
+func TestSupervisorGivesUpAfterMaxRestarts(t *testing.T) {
+	var downs, ups atomic.Int64
+	sup := NewSupervisor(SupervisorConfig{
+		BackoffBase: time.Microsecond,
+		MaxRestarts: 3,
+		Sleep:       func(time.Duration) {},
+		OnStateChange: func(id int, up bool, restarts int, err error) {
+			if up {
+				ups.Add(1)
+			} else {
+				downs.Add(1)
+				if err == nil {
+					t.Error("down transition without an error")
+				}
+			}
+		},
+	})
+	if err := sup.Start(7, "doomed", func(stop <-chan struct{}) error {
+		return errors.New("always fails")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		st := sup.Snapshot()
+		return len(st) == 1 && st[0].GaveUp
+	}, "supervisor never gave up")
+	if sup.Down() != 1 {
+		t.Errorf("Down() = %d, want 1", sup.Down())
+	}
+	// 4 failures (initial + 3 restarts), 3 restarts.
+	if downs.Load() != 4 || ups.Load() != 3 {
+		t.Errorf("transitions: %d downs / %d ups, want 4/3", downs.Load(), ups.Load())
+	}
+	sup.Stop()
+}
+
+func TestSupervisorCleanStop(t *testing.T) {
+	sup := NewSupervisor(SupervisorConfig{})
+	started := make(chan struct{})
+	if err := sup.Start(0, "w", func(stop <-chan struct{}) error {
+		close(started)
+		<-stop
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	done := make(chan struct{})
+	go func() { sup.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+	if err := sup.Start(1, "late", func(stop <-chan struct{}) error { return nil }); err == nil {
+		t.Fatal("Start after Stop must fail")
+	}
+}
+
+func TestSupervisorPrematureNilReturnIsCrash(t *testing.T) {
+	var runs atomic.Int64
+	sup := NewSupervisor(SupervisorConfig{Sleep: func(time.Duration) {}})
+	if err := sup.Start(0, "quitter", func(stop <-chan struct{}) error {
+		if runs.Add(1) == 1 {
+			return nil // premature: stop not closed
+		}
+		<-stop
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return runs.Load() >= 2 }, "premature nil return not treated as crash")
+	sup.Stop()
+}

@@ -13,6 +13,7 @@
 package kvs
 
 import (
+	"errors"
 	"fmt"
 
 	"sliceaware/internal/cpusim"
@@ -364,6 +365,46 @@ func (s *Store) Run(w Workload) (Result, error) {
 	res.TPSMillions = s.machine.Profile.FrequencyHz / res.CyclesPerReq / 1e6
 	return res, nil
 }
+
+// ErrDropped marks a request lost at the simulated NIC (ring full or
+// mempool exhausted) before it reached the serving core.
+var ErrDropped = errors.New("kvs: request dropped at NIC")
+
+// ServeOne pushes a single request through the NIC→ring→serve path and
+// returns the serving-core cycles it consumed. Run owns pacing for batch
+// experiments; ServeOne is the entry point for the live daemon
+// (cmd/slicekvsd), where the network — not the harness — decides when the
+// next request arrives. Not safe for concurrent use: the simulated machine
+// is single-threaded, so exactly one goroutine (the shard worker) may own
+// a Store.
+func (s *Store) ServeOne(key uint64, isGet bool) (uint64, error) {
+	if key >= s.cfg.Keys {
+		return 0, fmt.Errorf("kvs: key %d outside store of %d keys", key, s.cfg.Keys)
+	}
+	start := s.core.Cycles()
+	pkt := trace.Packet{Size: RequestSize, FlowID: key, SrcIP: uint32(key), DstIP: 1, Proto: 6}
+	if _, ok := s.port.Deliver(pkt); !ok {
+		s.ctrDropped.Inc(s.cfg.ServingCore)
+		return 0, ErrDropped
+	}
+	ms := s.port.RxBurst(0, 1)
+	if len(ms) != 1 {
+		s.ctrDropped.Inc(s.cfg.ServingCore)
+		return 0, ErrDropped
+	}
+	s.serve(ms[0], key, isGet)
+	if isGet {
+		s.ctrGets.Inc(s.cfg.ServingCore)
+	} else {
+		s.ctrSets.Inc(s.cfg.ServingCore)
+	}
+	s.port.TxBurst(0, ms)
+	return s.core.Cycles() - start, nil
+}
+
+// Counts reports the lifetime GET/SET totals the serving core completed —
+// the daemon's drain checkpoint records them per shard.
+func (s *Store) Counts() (gets, sets uint64) { return s.gets, s.sets }
 
 // PreferredSlice reports the slice hot data is homed to (slice-aware mode).
 func (s *Store) PreferredSlice() int {

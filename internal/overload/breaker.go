@@ -44,6 +44,14 @@ type BreakerConfig struct {
 	// HalfOpenProbes is how many consecutive half-open successes close the
 	// breaker again (default 3).
 	HalfOpenProbes int
+	// HalfOpenMaxInflight caps how many half-open trials may be in flight
+	// (allowed but not yet recorded) at once. 0 keeps the legacy behaviour
+	// — every call during half-open passes — which is what the sequential
+	// simulator call sites rely on. Concurrent callers (the slicekvsd
+	// daemon wraps the breaker in a SyncBreaker) set it so a probe storm
+	// cannot flood a still-recovering resource; HalfOpenProbes is the
+	// natural setting.
+	HalfOpenMaxInflight int
 }
 
 // BreakerStats counts one breaker's decisions and transitions.
@@ -70,6 +78,7 @@ type Breaker struct {
 	failures int
 	openedAt float64
 	streak   int // consecutive half-open successes
+	inflight int // half-open trials allowed but not yet recorded
 
 	stats BreakerStats
 }
@@ -99,6 +108,9 @@ func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
 	}
 	if cfg.HalfOpenProbes < 1 {
 		return nil, fmt.Errorf("overload: breaker half-open probes %d must be ≥1", cfg.HalfOpenProbes)
+	}
+	if cfg.HalfOpenMaxInflight < 0 {
+		return nil, fmt.Errorf("overload: breaker half-open in-flight cap %d must be ≥0", cfg.HalfOpenMaxInflight)
 	}
 	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}, nil
 }
@@ -133,6 +145,14 @@ func (b *Breaker) Allow(now float64) error {
 		}
 		b.state = BreakerHalfOpen
 		b.streak = 0
+		b.inflight = 0
+	}
+	if b.state == BreakerHalfOpen && b.cfg.HalfOpenMaxInflight > 0 {
+		if b.inflight >= b.cfg.HalfOpenMaxInflight {
+			b.stats.Rejected++
+			return ErrBreakerOpen
+		}
+		b.inflight++
 	}
 	b.stats.Allowed++
 	return nil
@@ -146,6 +166,9 @@ func (b *Breaker) Record(now float64, success bool) {
 	}
 	switch b.state {
 	case BreakerHalfOpen:
+		if b.inflight > 0 {
+			b.inflight--
+		}
 		if !success {
 			// A half-open trial failed: reopen and restart the cooldown.
 			b.trip(now)
@@ -154,6 +177,7 @@ func (b *Breaker) Record(now float64, success bool) {
 		b.streak++
 		if b.streak >= b.cfg.HalfOpenProbes {
 			b.state = BreakerClosed
+			b.inflight = 0
 			b.resetWindow()
 			b.stats.Recoveries++
 		}
@@ -169,10 +193,24 @@ func (b *Breaker) Record(now float64, success bool) {
 	}
 }
 
+// Cancel withdraws a call Allow passed through without recording an
+// outcome — the operation never ran (e.g. its queue was full), so the
+// outcome window should not learn anything, but a half-open trial slot
+// must be given back. Nil-safe.
+func (b *Breaker) Cancel() {
+	if b == nil {
+		return
+	}
+	if b.state == BreakerHalfOpen && b.inflight > 0 {
+		b.inflight--
+	}
+}
+
 func (b *Breaker) trip(now float64) {
 	b.state = BreakerOpen
 	b.openedAt = now
 	b.streak = 0
+	b.inflight = 0
 	b.stats.Trips++
 }
 

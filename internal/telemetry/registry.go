@@ -225,6 +225,13 @@ func DefLatencyBucketsNs() []float64 { return ExpBuckets(256, 2, 16) }
 // Histogram returns (creating on first use) the histogram `name` with the
 // given ascending bucket upper bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramL(name, help, "", bounds)
+}
+
+// HistogramL returns (creating on first use) the histogram `name{labels}`
+// — one series per label body, e.g. per priority class. Labels must not
+// collide with the `le` bucket label the exposition adds.
+func (r *Registry) HistogramL(name, help, labels string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -232,11 +239,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	f := r.getFamily(name, help, "histogram")
 	for _, h := range f.hists {
-		if h.labels == "" {
+		if h.labels == labels {
 			return h
 		}
 	}
-	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...), shards: make([]histShard, r.shards)}
+	h := &Histogram{name: name, labels: labels, bounds: append([]float64(nil), bounds...), shards: make([]histShard, r.shards)}
 	for i := range h.shards {
 		h.shards[i].counts = make([]uint64, len(bounds)+1) // +1 for +Inf
 	}
@@ -334,21 +341,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		for _, h := range f.hists {
 			counts, sum, count := h.Merged()
+			le := func(v string) string {
+				if h.labels != "" {
+					return h.labels + `,le="` + v + `"`
+				}
+				return `le="` + v + `"`
+			}
 			var cum uint64
 			for i, b := range h.bounds {
 				cum += counts[i]
-				if err := metricLine(w, h.name+"_bucket", fmt.Sprintf(`le="%s"`, formatFloat(b)), fmt.Sprintf("%d", cum)); err != nil {
+				if err := metricLine(w, h.name+"_bucket", le(formatFloat(b)), fmt.Sprintf("%d", cum)); err != nil {
 					return err
 				}
 			}
 			cum += counts[len(h.bounds)]
-			if err := metricLine(w, h.name+"_bucket", `le="+Inf"`, fmt.Sprintf("%d", cum)); err != nil {
+			if err := metricLine(w, h.name+"_bucket", le("+Inf"), fmt.Sprintf("%d", cum)); err != nil {
 				return err
 			}
-			if err := metricLine(w, h.name+"_sum", "", formatFloat(sum)); err != nil {
+			if err := metricLine(w, h.name+"_sum", h.labels, formatFloat(sum)); err != nil {
 				return err
 			}
-			if err := metricLine(w, h.name+"_count", "", fmt.Sprintf("%d", count)); err != nil {
+			if err := metricLine(w, h.name+"_count", h.labels, fmt.Sprintf("%d", count)); err != nil {
 				return err
 			}
 		}
@@ -377,6 +390,7 @@ type gaugeJSON struct {
 
 type histJSON struct {
 	Name   string    `json:"name"`
+	Labels string    `json:"labels,omitempty"`
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
 	Sum    float64   `json:"sum"`
@@ -407,7 +421,7 @@ func (r *Registry) snapshotJSON() registryJSON {
 		}
 		for _, h := range f.hists {
 			counts, sum, count := h.Merged()
-			out.Histograms = append(out.Histograms, histJSON{Name: h.name, Bounds: h.bounds, Counts: counts, Sum: sum, Count: count})
+			out.Histograms = append(out.Histograms, histJSON{Name: h.name, Labels: h.labels, Bounds: h.bounds, Counts: counts, Sum: sum, Count: count})
 		}
 	}
 	return out
