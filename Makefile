@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke ci
+.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke ci
 
 all: build test
 
@@ -31,12 +31,15 @@ bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
 # Machine-readable micro-benchmark numbers for the simulator hot paths
-# (slice hash, cache insert/lookup, netsim per-packet loop, table render).
-# BENCH_5.json in the repo root is a committed snapshot of this output.
+# (slice hash, cache insert/lookup, netsim per-packet loop, table render)
+# plus the observability primitives — the disabled-tracer benchmark in
+# ./internal/obs/ is the proof that tracing off means zero hot-path cost.
+# BENCH_7.json in the repo root is a committed snapshot of this output.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json \
 		./internal/chash/ ./internal/cachesim/ ./internal/netsim/ \
-		./internal/parallel/ ./internal/experiments/ > BENCH_5.json
+		./internal/parallel/ ./internal/experiments/ \
+		./internal/obs/ > BENCH_7.json
 
 # Parallel determinism gate: the full quick reproduction must be
 # byte-identical at -jobs 1 and -jobs 4 (timestamps and wall-clock
@@ -58,4 +61,12 @@ determinism:
 daemon-smoke:
 	bash scripts/daemon_smoke.sh
 
-ci: build vet race determinism daemon-smoke
+# End-to-end observability smoke: statsink + slicekvsd (sampled tracing,
+# availability SLO armed) + loadgen streaming wide events. The merged
+# JSONL must parse, hold both sources, and record the class-0 burn-rate
+# alert firing under the chaos storm and resolving after; the daemon
+# must write a parseable chrome trace on drain.
+obs-smoke:
+	bash scripts/obs_smoke.sh
+
+ci: build vet race determinism daemon-smoke obs-smoke

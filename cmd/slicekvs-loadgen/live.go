@@ -1,0 +1,172 @@
+package main
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sliceaware/internal/obs"
+	"sliceaware/internal/telemetry"
+)
+
+// liveStats streams the loadgen's own per-second view to a statsink, so
+// the merged artifact holds both sides of the serving socket: the
+// daemon's truth about what it refused, and the client's truth about
+// what it actually experienced (timeouts included — the daemon cannot
+// see a request the NIC dropped).
+//
+// Workers record outcomes into per-class atomics and a private latency
+// histogram; a reporter goroutine deltas them once a second. A nil
+// *liveStats is inert, so the workers are unconditional call sites.
+type liveClass struct {
+	requests atomic.Uint64
+	ok       atomic.Uint64
+	refused  atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+type liveStats struct {
+	sink    *obs.Client
+	classes []*liveClass
+	lat     []*telemetry.Histogram // ok-latency per class, private registry
+	bounds  []float64
+
+	phase atomic.Pointer[string]
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// newLiveStats dials the sink and starts the reporter; nil when addr is
+// empty.
+func newLiveStats(addr string, classes int) *liveStats {
+	if addr == "" {
+		return nil
+	}
+	// The registry is private: it only exists to give the reporter sharded
+	// bucket counts to delta, the same math the daemon side uses.
+	reg := telemetry.NewRegistry(1)
+	ls := &liveStats{
+		sink:    obs.DialSink(addr, "loadgen"),
+		classes: make([]*liveClass, classes),
+		lat:     make([]*telemetry.Histogram, classes),
+		bounds:  telemetry.ExpBuckets(4096, 2, 18),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for c := 0; c < classes; c++ {
+		ls.classes[c] = &liveClass{}
+		ls.lat[c] = reg.HistogramL("loadgen_latency_ns", "client-side ok latency",
+			`class="`+strconv.Itoa(c)+`"`, ls.bounds)
+	}
+	go ls.loop()
+	return ls
+}
+
+// record tallies one finished request. outcome is "ok", "timeout", or
+// anything else (counted as refused). latNs only matters for "ok".
+func (ls *liveStats) record(class int, outcome string, latNs float64) {
+	if ls == nil || class < 0 || class >= len(ls.classes) {
+		return
+	}
+	lc := ls.classes[class]
+	lc.requests.Add(1)
+	switch outcome {
+	case "ok":
+		lc.ok.Add(1)
+		ls.lat[class].Observe(0, latNs)
+	case "timeout", "conn":
+		lc.timeouts.Add(1)
+	default:
+		lc.refused.Add(1)
+	}
+}
+
+// setPhase marks a phase boundary: subsequent stats events carry the
+// name, and the boundary itself is streamed as a KindPhase event.
+func (ls *liveStats) setPhase(name string) {
+	if ls == nil {
+		return
+	}
+	ls.phase.Store(&name)
+	ls.sink.Send(obs.WideEvent{Kind: obs.KindPhase, Phase: name})
+}
+
+// close sends the end-of-run summary and flushes the sink client.
+func (ls *liveStats) close(num map[string]float64) {
+	if ls == nil {
+		return
+	}
+	close(ls.stop)
+	<-ls.done
+	ls.sink.Send(obs.WideEvent{Kind: obs.KindFinal, Num: num})
+	ls.sink.Close()
+}
+
+// sent/dropped surface the sink client counters for the final report.
+func (ls *liveStats) sent() uint64 {
+	if ls == nil {
+		return 0
+	}
+	return ls.sink.Sent()
+}
+
+func (ls *liveStats) droppedEvents() uint64 {
+	if ls == nil {
+		return 0
+	}
+	return ls.sink.Dropped()
+}
+
+// loop is the per-second reporter.
+func (ls *liveStats) loop() {
+	defer close(ls.done)
+	const tick = time.Second
+	t := time.NewTicker(tick)
+	defer t.Stop()
+
+	type cursor struct {
+		requests, ok, refused, timeouts uint64
+		lat                             obs.HistCursor
+	}
+	cursors := make([]cursor, len(ls.classes))
+
+	for {
+		select {
+		case <-ls.stop:
+			return
+		case <-t.C:
+			ev := obs.WideEvent{Kind: obs.KindStats}
+			if p := ls.phase.Load(); p != nil {
+				ev.Phase = *p
+			}
+			for c, lc := range ls.classes {
+				cur := &cursors[c]
+				req := lc.requests.Load()
+				dReq := req - cur.requests
+				cur.requests = req
+				if dReq == 0 {
+					continue
+				}
+				ok, refused, to := lc.ok.Load(), lc.refused.Load(), lc.timeouts.Load()
+				pt := obs.ClassPoint{
+					Class:    c,
+					RPS:      float64(dReq) / tick.Seconds(),
+					OK:       ok - cur.ok,
+					Refused:  refused - cur.refused,
+					Timeouts: to - cur.timeouts,
+				}
+				cur.ok, cur.refused, cur.timeouts = ok, refused, to
+				counts, _, _ := ls.lat[c].Merged()
+				delta, n := cur.lat.Delta(counts)
+				if n > 0 {
+					pt.P50Ns = obs.QuantileFromBuckets(ls.bounds, delta, 0.5)
+					pt.P99Ns = obs.QuantileFromBuckets(ls.bounds, delta, 0.99)
+				}
+				ev.Classes = append(ev.Classes, pt)
+			}
+			if len(ev.Classes) > 0 {
+				ls.sink.Send(ev)
+			}
+		}
+	}
+}

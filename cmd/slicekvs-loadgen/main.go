@@ -56,6 +56,8 @@ type lgConfig struct {
 	baselineRate    float64
 	assertTailRatio float64 // >0 enables the acceptance assertions
 	jsonPath        string
+	outPath         string // machine-readable result document
+	sinkAddr        string // statsink to stream per-second stats to
 }
 
 // classResult aggregates one priority class in one phase.
@@ -112,6 +114,8 @@ func main() {
 	flag.Float64Var(&cfg.baselineRate, "baseline-rate", 200, "baseline phase target rate")
 	flag.Float64Var(&cfg.assertTailRatio, "assert-tail-ratio", 0, "fail unless top-class p99 ≤ ratio × baseline p99 and class 0 was shed (requires -baseline)")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write the full report as JSON ('-' for stdout)")
+	flag.StringVar(&cfg.outPath, "out", "", "write the machine-readable result document — phases, baseline/measured comparison, assertion outcome — as JSON ('-' for stdout)")
+	flag.StringVar(&cfg.sinkAddr, "sink-addr", "", "statsink address to stream per-second client-side stats to (empty disables)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -128,7 +132,46 @@ type assertError struct{ msg string }
 
 func (e assertError) Error() string { return e.msg }
 
+// resultDoc is the machine-readable end-of-run document (-out): the raw
+// phases, the baseline-vs-measured comparison, the assertion outcome,
+// and the sink client's delivery counters. The legacy -json flag writes
+// the same document (its "phases" key is a superset of the old shape).
+type resultDoc struct {
+	Phases     []phaseResult     `json:"phases"`
+	Comparison []comparisonClass `json:"comparison,omitempty"`
+	Assert     *assertOutcome    `json:"assert,omitempty"`
+	SinkSent   uint64            `json:"sink_events_sent,omitempty"`
+	SinkDrops  uint64            `json:"sink_events_dropped,omitempty"`
+}
+
+// comparisonClass is one priority class's baseline-vs-measured deltas.
+type comparisonClass struct {
+	Class       int     `json:"class"`
+	BaselineP50 float64 `json:"baseline_p50_ns"`
+	BaselineP99 float64 `json:"baseline_p99_ns"`
+	MeasuredP50 float64 `json:"measured_p50_ns"`
+	MeasuredP99 float64 `json:"measured_p99_ns"`
+	P99Ratio    float64 `json:"p99_ratio"` // measured / baseline, 0 if no baseline samples
+	MeasuredOK  uint64  `json:"measured_ok"`
+	Refused     uint64  `json:"measured_refused"`
+	Timeouts    uint64  `json:"measured_timeouts"`
+}
+
+// assertOutcome records the acceptance-assertion verdict in the document
+// (the exit code carries it too; the document makes it greppable).
+type assertOutcome struct {
+	TailRatioLimit float64 `json:"tail_ratio_limit"`
+	Passed         bool    `json:"passed"`
+	Reason         string  `json:"reason,omitempty"`
+}
+
 func run(cfg lgConfig) error {
+	// When the result document goes to stdout, the human report moves to
+	// stderr so `-out - | jq` stays clean JSON.
+	if cfg.outPath == "-" || cfg.jsonPath == "-" {
+		report = os.Stderr
+	}
+	live := newLiveStats(cfg.sinkAddr, cfg.classes)
 	var phases []phaseResult
 
 	if cfg.baseline > 0 {
@@ -136,8 +179,10 @@ func run(cfg lgConfig) error {
 		base.rate = cfg.baselineRate
 		base.diurnalAmp = 0
 		base.duration = cfg.baseline
-		p, err := runPhase("baseline", base)
+		live.setPhase("baseline")
+		p, err := runPhase("baseline", base, live)
 		if err != nil {
+			live.close(nil)
 			return err
 		}
 		phases = append(phases, p)
@@ -145,44 +190,111 @@ func run(cfg lgConfig) error {
 
 	if cfg.chaosSpec != "" {
 		if err := armChaos(cfg); err != nil {
+			live.close(nil)
 			return err
 		}
-		fmt.Printf("armed fault plan %q seed %d\n", cfg.chaosSpec, cfg.chaosSeed)
+		fmt.Fprintf(report, "armed fault plan %q seed %d\n", cfg.chaosSpec, cfg.chaosSeed)
 	}
 
-	p, err := runPhase("measured", cfg)
+	live.setPhase("measured")
+	p, err := runPhase("measured", cfg, live)
 	if err != nil {
+		live.close(nil)
 		return err
 	}
 	phases = append(phases, p)
 
-	report := struct {
-		Phases []phaseResult `json:"phases"`
-	}{phases}
-	if cfg.jsonPath != "" {
-		var w io.Writer = os.Stdout
-		if cfg.jsonPath != "-" {
-			f, err := os.Create(cfg.jsonPath)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			return err
-		}
-	}
 	for _, p := range phases {
 		printPhase(p)
 	}
 
-	if cfg.assertTailRatio > 0 {
-		return assertAcceptance(cfg, phases)
+	doc := resultDoc{Phases: phases}
+	if len(phases) >= 2 {
+		doc.Comparison = buildComparison(cfg, phases)
 	}
-	return nil
+	var assertErr error
+	if cfg.assertTailRatio > 0 {
+		assertErr = assertAcceptance(cfg, phases)
+		out := &assertOutcome{TailRatioLimit: cfg.assertTailRatio, Passed: assertErr == nil}
+		if assertErr != nil {
+			out.Reason = assertErr.Error()
+		}
+		doc.Assert = out
+	}
+
+	var totalReq, totalOK uint64
+	for _, p := range phases {
+		for _, c := range p.Classes {
+			totalReq += c.Requests
+			totalOK += c.OK
+		}
+	}
+	live.close(map[string]float64{
+		"requests": float64(totalReq),
+		"ok":       float64(totalOK),
+	})
+	doc.SinkSent, doc.SinkDrops = live.sent(), live.droppedEvents()
+
+	for _, path := range []string{cfg.outPath, cfg.jsonPath} {
+		if path == "" {
+			continue
+		}
+		if err := writeResultDoc(path, doc); err != nil {
+			return err
+		}
+	}
+	return assertErr
+}
+
+// report is where the human-readable run narration goes; stdout unless
+// the JSON document claims stdout for itself.
+var report io.Writer = os.Stdout
+
+// writeResultDoc writes the document as indented JSON ('-' → stdout).
+func writeResultDoc(path string, doc resultDoc) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// buildComparison pairs the first (baseline) and last (measured) phases
+// per class.
+func buildComparison(cfg lgConfig, phases []phaseResult) []comparisonClass {
+	base, load := phases[0], phases[len(phases)-1]
+	var out []comparisonClass
+	for class := 0; class < cfg.classes; class++ {
+		b, m := findClass(base, class), findClass(load, class)
+		if m == nil {
+			continue
+		}
+		cc := comparisonClass{
+			Class:       class,
+			MeasuredP50: m.LatencyNs.P50,
+			MeasuredP99: m.LatencyNs.P99,
+			MeasuredOK:  m.OK,
+			Timeouts:    m.Timeouts,
+		}
+		for _, n := range m.Refused {
+			cc.Refused += n
+		}
+		if b != nil {
+			cc.BaselineP50, cc.BaselineP99 = b.LatencyNs.P50, b.LatencyNs.P99
+			if b.LatencyNs.P99 > 0 {
+				cc.P99Ratio = m.LatencyNs.P99 / b.LatencyNs.P99
+			}
+		}
+		out = append(out, cc)
+	}
+	return out
 }
 
 // assertAcceptance checks the chaos acceptance criteria over the phases.
@@ -201,7 +313,7 @@ func assertAcceptance(cfg lgConfig, phases []phaseResult) error {
 			basePCls.LatencyNs.N, loadPCls.LatencyNs.N)}
 	}
 	ratio := loadPCls.LatencyNs.P99 / basePCls.LatencyNs.P99
-	fmt.Printf("top-class p99: baseline %.0fns, measured %.0fns, ratio %.2f (limit %.2f)\n",
+	fmt.Fprintf(report, "top-class p99: baseline %.0fns, measured %.0fns, ratio %.2f (limit %.2f)\n",
 		basePCls.LatencyNs.P99, loadPCls.LatencyNs.P99, ratio, cfg.assertTailRatio)
 	if ratio > cfg.assertTailRatio {
 		return assertError{fmt.Sprintf("top-class p99 ratio %.2f exceeds %.2f", ratio, cfg.assertTailRatio)}
@@ -214,7 +326,7 @@ func assertAcceptance(cfg lgConfig, phases []phaseResult) error {
 	for _, n := range lowCls.Refused {
 		lowRefused += n
 	}
-	fmt.Printf("class 0 under load: %d ok, %d refused, %d timeouts\n", lowCls.OK, lowRefused, lowCls.Timeouts)
+	fmt.Fprintf(report, "class 0 under load: %d ok, %d refused, %d timeouts\n", lowCls.OK, lowRefused, lowCls.Timeouts)
 	if lowRefused == 0 {
 		return assertError{"class 0 was never shed under overload — admission control inert"}
 	}
@@ -231,14 +343,14 @@ func findClass(p phaseResult, class int) *classResult {
 }
 
 func printPhase(p phaseResult) {
-	fmt.Printf("phase %s: %.1fs at target %.0f req/s, %d reconnects, %d churns\n",
+	fmt.Fprintf(report, "phase %s: %.1fs at target %.0f req/s, %d reconnects, %d churns\n",
 		p.Name, p.Duration, p.RateTarget, p.Reconnects, p.Churns)
 	for _, c := range p.Classes {
 		var refused uint64
 		for _, n := range c.Refused {
 			refused += n
 		}
-		fmt.Printf("  class %d: %6d req  %6d ok  %5d refused  %4d timeouts  p50 %8.0fns  p99 %8.0fns\n",
+		fmt.Fprintf(report, "  class %d: %6d req  %6d ok  %5d refused  %4d timeouts  p50 %8.0fns  p99 %8.0fns\n",
 			c.Class, c.Requests, c.OK, refused, c.Timeouts, c.LatencyNs.P50, c.LatencyNs.P99)
 	}
 }
@@ -263,7 +375,7 @@ func armChaos(cfg lgConfig) error {
 }
 
 // runPhase drives cfg.conns workers for cfg.duration and merges tallies.
-func runPhase(name string, cfg lgConfig) (phaseResult, error) {
+func runPhase(name string, cfg lgConfig, live *liveStats) (phaseResult, error) {
 	stop := make(chan struct{})
 	time.AfterFunc(cfg.duration, func() { close(stop) })
 
@@ -276,7 +388,7 @@ func runPhase(name string, cfg lgConfig) (phaseResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(cfg, i, phaseStart, stop, tallies[i])
+			runWorker(cfg, i, phaseStart, stop, tallies[i], live)
 		}()
 	}
 	wg.Wait()
@@ -368,7 +480,7 @@ func rateAt(cfg lgConfig, t time.Duration) float64 {
 }
 
 // runWorker is the closed-loop body of one connection.
-func runWorker(cfg lgConfig, id int, phaseStart time.Time, stop <-chan struct{}, tally *workerTally) {
+func runWorker(cfg lgConfig, id int, phaseStart time.Time, stop <-chan struct{}, tally *workerTally, live *liveStats) {
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	gen, err := zipf.NewZipf(rng, cfg.keys, cfg.theta)
 	if err != nil {
@@ -405,11 +517,13 @@ func runWorker(cfg lgConfig, id int, phaseStart time.Time, stop <-chan struct{},
 		start := time.Now()
 		outcome := doRequest(c, cfg.timeout, key, isSet)
 		tally.requests++
+		latNs := float64(time.Since(start).Nanoseconds())
+		live.record(tally.class, outcome, latNs)
 
 		switch outcome {
 		case "ok":
 			tally.ok++
-			tally.latencies = append(tally.latencies, float64(time.Since(start).Nanoseconds()))
+			tally.latencies = append(tally.latencies, latNs)
 			backoff = cfg.backoffBase
 			sent++
 			if cfg.churnEvery > 0 && sent%cfg.churnEvery == 0 {

@@ -42,6 +42,15 @@ func main() {
 	flag.DurationVar(&cfg.aqmInterval, "aqm-interval", cfg.aqmInterval, "CoDel interval")
 	flag.DurationVar(&cfg.fullSojourn, "full-sojourn", cfg.fullSojourn, "queue wait regarded as full shedding pressure")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", cfg.checkpoint, "drain checkpoint path (empty disables)")
+	flag.StringVar(&cfg.sinkAddr, "sink-addr", "", "statsink address to stream per-second wide events to (empty disables)")
+	flag.DurationVar(&cfg.statsTick, "stats-tick", cfg.statsTick, "wide-event snapshot period")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "trace one request in N through the serving pipeline (0 disables)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "chrome://tracing file written at drain (needs -trace-sample)")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "mount net/http/pprof on the health sidecar")
+	flag.StringVar(&cfg.sloSpec, "slo", "", "SLOs to monitor, e.g. avail:*:0.95,lat:3:20ms:0.99 (empty disables)")
+	flag.Float64Var(&cfg.sloBurn, "slo-burn", cfg.sloBurn, "burn-rate threshold for SLO alerts")
+	flag.DurationVar(&cfg.sloFast, "slo-fast", cfg.sloFast, "fast burn-rate window")
+	flag.DurationVar(&cfg.sloSlow, "slo-slow", cfg.sloSlow, "slow burn-rate window")
 	flag.Parse()
 	cfg.keys = *keys
 

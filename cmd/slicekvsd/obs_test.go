@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sliceaware/internal/obs"
+)
+
+// fakeSink is an in-test statsink: a TCP listener collecting every wide
+// event any source streams at it.
+type fakeSink struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	events []obs.WideEvent
+}
+
+func startFakeSink(t *testing.T) *fakeSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeSink{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				sc.Buffer(make([]byte, 64*1024), 1<<20)
+				for sc.Scan() {
+					var ev obs.WideEvent
+					if json.Unmarshal(sc.Bytes(), &ev) == nil {
+						fs.mu.Lock()
+						fs.events = append(fs.events, ev)
+						fs.mu.Unlock()
+					}
+				}
+			}()
+		}
+	}()
+	return fs
+}
+
+func (fs *fakeSink) snapshot() []obs.WideEvent {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]obs.WideEvent(nil), fs.events...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTracingEndToEnd runs traffic through a trace-every-request server
+// and checks all three tracer outputs: the per-stage histogram family on
+// /metrics, the sampled-trace ring, and the chrome://tracing artifact
+// written at drain.
+func TestTracingEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceSample = 1
+	cfg.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	s := startServer(t, cfg)
+	c := dialClient(t, s.Addr())
+
+	for i := 0; i < 20; i++ {
+		if got := c.set("k3", "hello"); got != "STORED" {
+			t.Fatalf("set = %q", got)
+		}
+		if lines := c.get("k3"); lines[len(lines)-1] != "END" {
+			t.Fatalf("get = %v", lines)
+		}
+	}
+	if s.tracer.Sampled() != 40 {
+		t.Fatalf("sampled %d traces, want 40", s.tracer.Sampled())
+	}
+
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, stage := range []string{"parse", "drain_gate", "inbox_wait", "shard_service", "store_op", "reply_write"} {
+		if !strings.Contains(string(body), `slicekvsd_request_stage_ns_bucket{stage="`+stage+`"`) {
+			t.Errorf("/metrics lacks stage histogram %q", stage)
+		}
+	}
+
+	s.Drain()
+	raw, err := os.ReadFile(cfg.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace-out is not a JSON event array: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range events {
+		names[ev["name"].(string)]++
+		if ev["ph"] != "X" {
+			t.Fatalf("event %v is not a duration span", ev)
+		}
+	}
+	for _, want := range []string{"store_op", "shard_service", "inbox_wait", "request:get", "request:set"} {
+		if names[want] == 0 {
+			t.Errorf("trace-out has no %q spans (got %v)", want, names)
+		}
+	}
+}
+
+// TestTracerDisabledByDefault guards the zero-overhead default: no
+// tracer, no stage metrics, no trace ring.
+func TestTracerDisabledByDefault(t *testing.T) {
+	s := startServer(t, testConfig())
+	c := dialClient(t, s.Addr())
+	if got := c.set("k1", "v"); got != "STORED" {
+		t.Fatalf("set = %q", got)
+	}
+	if s.tracer != nil {
+		t.Fatal("tracer armed without -trace-sample")
+	}
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "slicekvsd_request_stage_ns") {
+		t.Fatal("stage histograms exported with tracing disabled")
+	}
+}
+
+// TestStatsStreamAndSLOAlert drives the full streaming path: per-second
+// stats events reach the sink, an availability SLO fires under a 100%
+// error storm (logged, gauged, streamed), resolves once the storm stops,
+// and the drain sends a final event.
+func TestStatsStreamAndSLOAlert(t *testing.T) {
+	fs := startFakeSink(t)
+	cfg := testConfig()
+	cfg.sinkAddr = fs.ln.Addr().String()
+	cfg.statsTick = 50 * time.Millisecond
+	cfg.sloSpec = "avail:0:0.9"
+	cfg.sloFast = 250 * time.Millisecond
+	cfg.sloSlow = 500 * time.Millisecond
+	cfg.sloBurn = 2
+	s := startServer(t, cfg)
+	c := dialClient(t, s.Addr())
+
+	// Healthy traffic first, then a corrupt-every-frame storm: every
+	// response is an "injected" refusal, burning the class-0 budget.
+	for i := 0; i < 10; i++ {
+		if lines := c.get("k2"); lines[len(lines)-1] != "END" {
+			t.Fatalf("get = %v", lines)
+		}
+	}
+	c.send("chaos arm 7 nic-corrupt:1.0")
+	if got := c.line(); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("chaos arm = %q", got)
+	}
+	stop := make(chan struct{})
+	go func() {
+		c2, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			return
+		}
+		defer c2.Close()
+		br := bufio.NewReader(c2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			io.WriteString(c2, "get k2\r\n")
+			c2.SetReadDeadline(time.Now().Add(time.Second))
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+
+	waitFor(t, 10*time.Second, "SLO alert to fire", func() bool {
+		for _, ev := range fs.snapshot() {
+			if ev.Kind == obs.KindAlert && ev.Alert != nil && ev.Alert.State == "firing" {
+				return true
+			}
+		}
+		return false
+	})
+	close(stop)
+	c.send("chaos clear")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("chaos clear = %q", got)
+	}
+
+	// With the storm over, the fast window drains and the alert resolves.
+	waitFor(t, 10*time.Second, "SLO alert to resolve", func() bool {
+		for _, ev := range fs.snapshot() {
+			if ev.Kind == obs.KindAlert && ev.Alert != nil && ev.Alert.State == "resolved" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Stats events carry the per-class second from the daemon's side.
+	var sawStats bool
+	for _, ev := range fs.snapshot() {
+		if ev.Kind != obs.KindStats || ev.Source != "slicekvsd" {
+			continue
+		}
+		for _, pt := range ev.Classes {
+			if pt.Class == 0 && (pt.OK > 0 || pt.Refused > 0) {
+				sawStats = true
+			}
+		}
+	}
+	if !sawStats {
+		t.Fatal("no stats event carried class-0 traffic")
+	}
+
+	s.Drain()
+	waitFor(t, 5*time.Second, "final event", func() bool {
+		for _, ev := range fs.snapshot() {
+			if ev.Kind == obs.KindFinal {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -18,6 +18,7 @@ import (
 
 	"sliceaware/internal/daemon"
 	"sliceaware/internal/faults"
+	"sliceaware/internal/obs"
 	"sliceaware/internal/overload"
 	"sliceaware/internal/telemetry"
 )
@@ -54,6 +55,19 @@ type config struct {
 	recoverAfter  int           // ladder: calm ticks before recovering
 
 	checkpoint string // drain checkpoint path ("" disables)
+
+	// Observability. All off by default; when off, the request path pays
+	// one nil-check branch per instrumentation point and zero allocations
+	// (the obs nil-is-free contract).
+	sinkAddr    string        // statsink address ("" disables streaming)
+	statsTick   time.Duration // wide-event snapshot period
+	traceSample int           // trace one request in N (0 disables)
+	traceOut    string        // chrome://tracing artifact written at drain
+	pprofOn     bool          // mount net/http/pprof on the sidecar
+	sloSpec     string        // SLO definitions (obs.ParseSLOs syntax)
+	sloBurn     float64       // burn-rate alert threshold
+	sloFast     time.Duration // fast burn-rate window
+	sloSlow     time.Duration // slow burn-rate window
 }
 
 func defaultConfig() config {
@@ -80,6 +94,10 @@ func defaultConfig() config {
 		tick:            10 * time.Millisecond,
 		escalateAfter:   25,
 		recoverAfter:    200,
+		statsTick:       time.Second,
+		sloBurn:         4,
+		sloFast:         5 * time.Second,
+		sloSlow:         time.Minute,
 	}
 }
 
@@ -139,11 +157,20 @@ type server struct {
 	tickStop    chan struct{}
 	tickDone    chan struct{}
 
-	reg     *telemetry.Registry
-	ctrConn map[string]*telemetry.Counter
-	ctrResp []map[string]*telemetry.Counter // [class][outcome]
-	ctrOps  map[string]*telemetry.Counter   // get/set per shard
-	histLat []*telemetry.Histogram          // [class], wall ns
+	reg       *telemetry.Registry
+	ctrConn   map[string]*telemetry.Counter
+	ctrResp   []map[string]*telemetry.Counter // [class][outcome]
+	ctrOps    map[string]*telemetry.Counter   // get/set per shard
+	histLat   []*telemetry.Histogram          // [class], wall ns
+	latBounds []float64                       // histLat bucket bounds
+
+	// Observability: nil when the corresponding flag is off, and every
+	// call through them is then a no-op (obs nil-is-free contract).
+	tracer    *obs.Tracer
+	sink      *obs.Client
+	monitor   *obs.Monitor
+	statsStop chan struct{}
+	statsDone chan struct{}
 
 	drainOnce sync.Once
 	logf      func(format string, args ...any)
@@ -165,14 +192,16 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	s := &server{
-		cfg:      cfg,
-		start:    time.Now(),
-		lc:       daemon.NewLifecycle(),
-		connSem:  make(chan struct{}, cfg.connsMax),
-		conns:    make(map[net.Conn]struct{}),
-		tickStop: make(chan struct{}),
-		tickDone: make(chan struct{}),
-		logf:     log.Printf,
+		cfg:       cfg,
+		start:     time.Now(),
+		lc:        daemon.NewLifecycle(),
+		connSem:   make(chan struct{}, cfg.connsMax),
+		conns:     make(map[net.Conn]struct{}),
+		tickStop:  make(chan struct{}),
+		tickDone:  make(chan struct{}),
+		statsStop: make(chan struct{}),
+		statsDone: make(chan struct{}),
+		logf:      log.Printf,
 	}
 
 	for i := 0; i < cfg.shards; i++ {
@@ -222,6 +251,30 @@ func newServer(cfg config) (*server, error) {
 	})
 
 	s.initMetrics()
+
+	if cfg.traceSample > 0 {
+		s.tracer = obs.NewTracer(obs.TracerConfig{
+			SampleEvery: cfg.traceSample,
+			Registry:    s.reg,
+			MetricName:  "slicekvsd_request_stage_ns",
+		})
+	}
+	slos, err := obs.ParseSLOs(cfg.sloSpec, cfg.classes)
+	if err != nil {
+		return nil, err
+	}
+	s.monitor, err = obs.NewMonitor(obs.MonitorConfig{
+		SLOs:          slos,
+		Tick:          cfg.statsTick,
+		FastWindow:    cfg.sloFast,
+		SlowWindow:    cfg.sloSlow,
+		BurnThreshold: cfg.sloBurn,
+		Registry:      s.reg,
+		MetricPrefix:  "slicekvsd",
+	})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -247,9 +300,12 @@ func (s *server) initMetrics() {
 				fmt.Sprintf("class=%q,outcome=%q", strconv.Itoa(c), o))
 		}
 		// 4 µs .. ~1 s in doubling buckets: wall-clock service latency.
+		// The stats loop deltas these per tick, so latBounds is kept for
+		// quantile and SLO-violation math over the bucket counts.
+		s.latBounds = telemetry.ExpBuckets(4096, 2, 18)
 		s.histLat[c] = s.reg.HistogramL("slicekvsd_request_latency_ns",
 			"Wall-clock request latency by class",
-			fmt.Sprintf("class=%q", strconv.Itoa(c)), telemetry.ExpBuckets(4096, 2, 18))
+			fmt.Sprintf("class=%q", strconv.Itoa(c)), s.latBounds)
 	}
 	s.ctrOps = map[string]*telemetry.Counter{
 		"get": s.reg.CounterL("slicekvsd_requests_total", "Requests dispatched by op", `op="get"`),
@@ -290,6 +346,9 @@ func (s *server) Serve() error {
 
 	if s.cfg.httpAddr != "" {
 		mux := daemon.Mux(s.lc, s.sup, telemetry.MetricsHandler(s.reg))
+		if s.cfg.pprofOn {
+			daemon.AttachPprof(mux)
+		}
 		srv, err := telemetry.StartMetricsServer(s.cfg.httpAddr, mux)
 		if err != nil {
 			ln.Close()
@@ -313,7 +372,11 @@ func (s *server) Serve() error {
 		}
 	}
 
+	if s.cfg.sinkAddr != "" {
+		s.sink = obs.DialSink(s.cfg.sinkAddr, "slicekvsd")
+	}
 	go s.pressureTick()
+	go s.statsLoop()
 	go s.acceptLoop()
 
 	if err := s.lc.SetReady(); err != nil {
@@ -472,9 +535,15 @@ func (s *server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		quit := s.dispatch(line, br, bw, &class)
+		quit, tr := s.dispatch(line, br, bw, &class)
+		// The reply-write stage is the socket flush: serialization into bw
+		// is buffered and negligible, the flush is where the wall time goes.
+		tr.StageStart(obs.StageReplyWrite)
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.writeTimeout))
-		if err := bw.Flush(); err != nil || quit {
+		ferr := bw.Flush()
+		tr.StageEnd(obs.StageReplyWrite)
+		s.tracer.Finish(tr)
+		if ferr != nil || quit {
 			return
 		}
 	}
@@ -493,26 +562,33 @@ func readLine(br *bufio.Reader) (string, error) {
 }
 
 // dispatch executes one command line. It returns true when the
-// connection should close after the pending flush.
-func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class *int) bool {
+// connection should close after the pending flush, plus the request's
+// span record when the tracer sampled it (nil otherwise — the caller
+// owns finishing it after the flush).
+func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class *int) (bool, *obs.ReqTrace) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
-		return false
+		return false, nil
 	}
 	switch fields[0] {
 	case "get", "gets":
-		s.cmdGet(fields[1:], bw, *class)
+		tr := s.tracer.Begin("get", *class)
+		tr.StageStart(obs.StageParse)
+		s.cmdGet(fields[1:], bw, *class, tr)
+		return false, tr
 	case "set":
-		return s.cmdSet(fields[1:], br, bw, *class)
+		tr := s.tracer.Begin("set", *class)
+		tr.StageStart(obs.StageParse)
+		return s.cmdSet(fields[1:], br, bw, *class, tr), tr
 	case "prio":
 		if len(fields) != 2 {
 			bw.WriteString("CLIENT_ERROR usage: prio <class>\r\n")
-			return false
+			return false, nil
 		}
 		c, err := strconv.Atoi(fields[1])
 		if err != nil || c < 0 || c >= s.cfg.classes {
 			fmt.Fprintf(bw, "CLIENT_ERROR class must be 0..%d\r\n", s.cfg.classes-1)
-			return false
+			return false, nil
 		}
 		*class = c
 		bw.WriteString("OK\r\n")
@@ -521,13 +597,13 @@ func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class
 	case "stats":
 		s.cmdStats(bw)
 	case "version":
-		bw.WriteString("VERSION slicekvsd-0.6 (sliceaware)\r\n")
+		bw.WriteString("VERSION slicekvsd-0.7 (sliceaware)\r\n")
 	case "quit":
-		return true
+		return true, nil
 	default:
 		bw.WriteString("ERROR\r\n")
 	}
-	return false
+	return false, nil
 }
 
 // protoErr renders an admission error as a protocol error line.
@@ -535,7 +611,8 @@ func protoErr(err error) string {
 	return "SERVER_ERROR " + err.Error()
 }
 
-func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int) {
+func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int, tr *obs.ReqTrace) {
+	tr.StageEnd(obs.StageParse)
 	if len(keys) == 0 {
 		bw.WriteString("CLIENT_ERROR usage: get <key> [key...]\r\n")
 		return
@@ -548,7 +625,7 @@ func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int) {
 	for _, k := range keys {
 		rank := s.keyRank(k)
 		s.ctrOps["get"].Inc(int(rank % uint64(s.cfg.shards)))
-		_, err := s.serveRequest(class, rank, true)
+		_, err := s.serveRequest(class, rank, true, tr)
 		switch {
 		case err == nil:
 			hits = append(hits, hit{k, rank})
@@ -573,7 +650,7 @@ func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int) {
 // cmdSet parses `set <key> <flags> <exptime> <bytes>` plus the data
 // block. The data block is consumed before any admission decision so the
 // stream stays framed even when the request is refused.
-func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class int) bool {
+func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class int, tr *obs.ReqTrace) bool {
 	if len(args) < 4 {
 		bw.WriteString("CLIENT_ERROR usage: set <key> <flags> <exptime> <bytes>\r\n")
 		return false
@@ -591,10 +668,11 @@ func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class
 		bw.WriteString("CLIENT_ERROR bad data chunk\r\n")
 		return true
 	}
+	tr.StageEnd(obs.StageParse) // parse includes the data-block read
 
 	rank := s.keyRank(args[0])
 	s.ctrOps["set"].Inc(int(rank % uint64(s.cfg.shards)))
-	_, err = s.serveRequest(class, rank, false)
+	_, err = s.serveRequest(class, rank, false, tr)
 	switch {
 	case err == nil:
 		bw.WriteString("STORED\r\n")
@@ -633,53 +711,63 @@ func valueBytes(rank uint64) []byte {
 // serveRequest runs one request through the admission guard and a shard:
 // drain gate → priority shed → degradation ladder → per-shard breaker →
 // bounded inbox → wait for the worker (bounded by requestTimeout).
-func (s *server) serveRequest(class int, rank uint64, isGet bool) (uint64, error) {
+func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTrace) (uint64, error) {
 	sh := s.shards[rank%uint64(len(s.shards))]
 	local := rank / uint64(len(s.shards))
+	tr.SetShard(sh.id)
 
+	tr.StageStart(obs.StageDrainGate)
 	s.admitMu.RLock()
 	if s.lc.State() != daemon.StateReady {
 		s.admitMu.RUnlock()
-		s.account(class, "draining", 0)
+		s.account(tr, class, "draining", 0)
 		return 0, errDraining
 	}
 	s.reqWG.Add(1)
 	s.admitMu.RUnlock()
+	tr.StageEnd(obs.StageDrainGate)
 	defer s.reqWG.Done()
 
 	// Priority shed on inbox occupancy and smoothed queue wait.
+	tr.StageStart(obs.StageShed)
 	occ := float64(len(sh.inbox)) / float64(cap(sh.inbox))
 	s.shedMu.Lock()
 	admit := s.shed.Admit(class, s.shed.Pressure(occ, sh.sojournEwma()))
 	s.shedMu.Unlock()
+	tr.StageEnd(obs.StageShed)
 	if !admit {
-		s.account(class, "shed", 0)
+		s.account(tr, class, "shed", 0)
 		return 0, errShed
 	}
 
 	// Degradation ladder: level 1 refuses writes below the top class,
 	// level 2 serves only the top class.
+	tr.StageStart(obs.StageLadder)
 	top := s.cfg.classes - 1
-	switch lvl := int(s.ladderLevel.Load()); {
-	case lvl >= 2 && class < top,
-		lvl == 1 && !isGet && class < top:
-		s.account(class, "degraded", 0)
+	lvl := int(s.ladderLevel.Load())
+	tr.StageEnd(obs.StageLadder)
+	if (lvl >= 2 && class < top) || (lvl == 1 && !isGet && class < top) {
+		s.account(tr, class, "degraded", 0)
 		return 0, errDegraded
 	}
 
-	if err := sh.breaker.Allow(s.wallNs()); err != nil {
-		s.account(class, "breaker", 0)
+	tr.StageStart(obs.StageBreaker)
+	err := sh.breaker.Allow(s.wallNs())
+	tr.StageEnd(obs.StageBreaker)
+	if err != nil {
+		s.account(tr, class, "breaker", 0)
 		return 0, errBreaker
 	}
 
-	req := &request{rank: local, isGet: isGet, class: class, enqueued: time.Now(), resp: make(chan respMsg, 1)}
+	req := &request{rank: local, isGet: isGet, class: class, enqueued: time.Now(), resp: make(chan respMsg, 1), tr: tr}
+	tr.StageStart(obs.StageInboxWait)
 	select {
 	case sh.inbox <- req:
 	default:
 		// The operation never ran; give the breaker slot back without
 		// teaching the outcome window anything.
 		sh.breaker.Cancel()
-		s.account(class, "inbox_full", 0)
+		s.account(tr, class, "inbox_full", 0)
 		return 0, errInbox
 	}
 
@@ -691,36 +779,41 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool) (uint64, error
 		switch {
 		case r.silent:
 			sh.breaker.Record(s.wallNs(), true) // the shard did its job
-			s.account(class, "dropped_silent", 0)
+			s.account(tr, class, "dropped_silent", 0)
 			return 0, errSilentDrop
 		case errors.Is(r.err, errAQM):
 			sh.breaker.Record(s.wallNs(), true)
-			s.account(class, "aqm", 0)
+			s.account(tr, class, "aqm", 0)
 			return 0, r.err
 		case errors.Is(r.err, errCorrupt):
 			sh.breaker.Record(s.wallNs(), true)
-			s.account(class, "injected", 0)
+			s.account(tr, class, "injected", 0)
 			return 0, r.err
 		case r.err != nil:
 			sh.breaker.Record(s.wallNs(), false)
-			s.account(class, "error", 0)
+			s.account(tr, class, "error", 0)
 			return 0, r.err
 		default:
 			sh.breaker.Record(s.wallNs(), true)
-			s.account(class, "ok", latency)
+			s.account(tr, class, "ok", latency)
 			return r.cycles, nil
 		}
 	case <-timer.C:
 		// The worker is wedged or dead (crash mid-request loses the
 		// inbox'd work): a real dispatch failure the breaker should see.
+		// The worker may still stamp shard-side stages into tr after this
+		// point — stage stamps are atomic, so the late writes are safe and
+		// simply miss the already-finished trace.
 		sh.breaker.Record(s.wallNs(), false)
-		s.account(class, "timeout", 0)
+		s.account(tr, class, "timeout", 0)
 		return 0, errTimeout
 	}
 }
 
-// account counts one response and, for successes, observes latency.
-func (s *server) account(class int, outcome string, latency time.Duration) {
+// account counts one response, records the trace outcome, and for
+// successes observes latency.
+func (s *server) account(tr *obs.ReqTrace, class int, outcome string, latency time.Duration) {
+	tr.SetOutcome(outcome)
 	if class < 0 {
 		class = 0
 	}
@@ -900,6 +993,8 @@ func (s *server) Drain() {
 		s.connWG.Wait()
 		close(s.tickStop)
 		<-s.tickDone
+		close(s.statsStop)
+		<-s.statsDone
 		s.sup.Stop()
 
 		s.lc.SetStopped()
@@ -907,6 +1002,22 @@ func (s *server) Drain() {
 			if err := s.writeCheckpoint(s.cfg.checkpoint); err != nil {
 				s.logf("slicekvsd: checkpoint: %v", err)
 			}
+		}
+		if s.cfg.traceOut != "" && s.tracer != nil {
+			if err := s.writeTraceFile(s.cfg.traceOut); err != nil {
+				s.logf("slicekvsd: trace-out: %v", err)
+			} else {
+				s.logf("slicekvsd: wrote %d sampled traces to %s (chrome://tracing)",
+					s.tracer.Sampled(), s.cfg.traceOut)
+			}
+		}
+		if s.sink != nil {
+			s.sink.Send(obs.WideEvent{Kind: obs.KindFinal, Num: map[string]float64{
+				"uptime_seconds": time.Since(s.start).Seconds(),
+				"trace_sampled":  float64(s.tracer.Sampled()),
+				"slo_fired":      float64(s.monitor.FiredTotal()),
+			}})
+			s.sink.Close()
 		}
 		if s.http != nil {
 			s.http.Close()
@@ -947,6 +1058,20 @@ func (s *server) writeCheckpoint(path string) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTraceFile dumps the retained sampled traces as a chrome://tracing
+// file. Called at drain, after the workers stopped.
+func (s *server) writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.tracer.WriteChromeTrace(f); err != nil {
 		f.Close()
 		return err
 	}

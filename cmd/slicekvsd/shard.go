@@ -14,6 +14,7 @@ import (
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/faults"
 	"sliceaware/internal/kvs"
+	"sliceaware/internal/obs"
 	"sliceaware/internal/overload"
 	"sliceaware/internal/zipf"
 )
@@ -37,7 +38,8 @@ type request struct {
 	isGet    bool
 	class    int
 	enqueued time.Time
-	resp     chan respMsg // buffered(1): the worker never blocks on reply
+	resp     chan respMsg  // buffered(1): the worker never blocks on reply
+	tr       *obs.ReqTrace // nil unless the tracer sampled this request
 }
 
 // respMsg is the worker's answer.
@@ -201,8 +203,13 @@ func (sh *shard) decaySojourn() {
 	}
 }
 
-// serve executes one request on the shard's simulated machine.
+// serve executes one request on the shard's simulated machine. Trace
+// stage stamps are written from this goroutine while the connection
+// handler may be timing out on the other side — they are atomic stores,
+// so the race is benign (the handler just misses late stages).
 func (sh *shard) serve(req *request) {
+	req.tr.StageEnd(obs.StageInboxWait)
+	req.tr.StageStart(obs.StageShardService)
 	now := time.Now()
 	sojournNs := float64(now.Sub(req.enqueued).Nanoseconds())
 	sh.sojournBits.Store(math.Float64bits(sh.sojournEwma()*0.875 + sojournNs*0.125))
@@ -210,6 +217,7 @@ func (sh *shard) serve(req *request) {
 		nowNs := float64(now.Sub(sh.start).Nanoseconds())
 		if err := sh.aqm.Admit(nowNs, len(sh.inbox)+1, cap(sh.inbox), sojournNs); err != nil {
 			sh.aqmDrops.Add(1)
+			req.tr.StageEnd(obs.StageShardService)
 			req.resp <- respMsg{err: errAQM}
 			return
 		}
@@ -219,10 +227,12 @@ func (sh *shard) serve(req *request) {
 	if inj.Fire(faults.NICDrop) {
 		// A lost packet answers with nothing — the client's timeout/retry
 		// path is the thing this fault exists to exercise.
+		req.tr.StageEnd(obs.StageShardService)
 		req.resp <- respMsg{silent: true}
 		return
 	}
 	if inj.Fire(faults.NICCorrupt) {
+		req.tr.StageEnd(obs.StageShardService)
 		req.resp <- respMsg{err: errCorrupt}
 		return
 	}
@@ -231,8 +241,11 @@ func (sh *shard) serve(req *request) {
 	}
 
 	scale := inj.ServiceScale(sh.core)
+	req.tr.StageStart(obs.StageStoreOp)
 	cycles, err := sh.store.ServeOne(req.rank, req.isGet)
+	req.tr.StageEnd(obs.StageStoreOp)
 	if err != nil {
+		req.tr.StageEnd(obs.StageShardService)
 		req.resp <- respMsg{err: err}
 		return
 	}
@@ -243,6 +256,7 @@ func (sh *shard) serve(req *request) {
 		time.Sleep(extra)
 	}
 	sh.served.Add(1)
+	req.tr.StageEnd(obs.StageShardService)
 	req.resp <- respMsg{cycles: cycles}
 }
 

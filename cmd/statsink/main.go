@@ -1,0 +1,53 @@
+// Command statsink is the streaming stats sink for serving mode: a TCP
+// server that accepts newline-delimited JSON wide events (the
+// internal/obs schema) from any number of sources — slicekvsd daemons,
+// slicekvs-loadgen runs — merges them, renders a live one-line-per-event
+// console view, and appends every event (enriched with receive time and
+// peer) to one JSONL artifact for offline analysis.
+//
+//	statsink -listen 127.0.0.1:9901 -out merged.jsonl
+//	slicekvsd       -sink-addr 127.0.0.1:9901 ...
+//	slicekvs-loadgen -sink-addr 127.0.0.1:9901 ...
+//
+// The artifact replays the whole run from both sides of the serving
+// socket: the daemon's per-class truth (shed causes, ladder rung,
+// breaker state, SLO alerts) interleaved with the client's measured
+// latency. SIGTERM/SIGINT flushes, prints a per-source summary, and
+// exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	var cfg sinkConfig
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:9901", "TCP listen address for wide-event sources")
+	flag.StringVar(&cfg.out, "out", "", "merged JSONL artifact path (empty disables)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the live console view")
+	flag.Parse()
+
+	s, err := newSinkServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("statsink: listening on %s", s.Addr())
+	if cfg.out != "" {
+		fmt.Printf(", merging to %s", cfg.out)
+	}
+	fmt.Println()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	<-sigc
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "statsink:", err)
+		os.Exit(1)
+	}
+	s.PrintSummary(os.Stdout)
+}

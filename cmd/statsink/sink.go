@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sliceaware/internal/obs"
+)
+
+// sinkConfig carries the statsink knobs.
+type sinkConfig struct {
+	listen string
+	out    string
+	quiet  bool
+}
+
+// mergedRecord is one artifact line: the source's wide event plus the
+// sink's receive annotations.
+type mergedRecord struct {
+	obs.WideEvent
+	RecvMs int64  `json:"recv_ms"`
+	Peer   string `json:"peer"`
+}
+
+// sinkServer accepts wide-event streams and merges them. One goroutine
+// per source connection parses; the shared state (artifact writer,
+// per-source tallies, console) is guarded by mu — event rates are a few
+// per second per source, so a mutex is the right tool.
+type sinkServer struct {
+	cfg sinkConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	file     *os.File
+	w        *bufio.Writer
+	events   map[string]uint64 // per source
+	kinds    map[string]uint64
+	alerts   uint64
+	badLines uint64
+	closed   bool
+	conns    map[net.Conn]struct{}
+
+	console io.Writer
+	connWG  sync.WaitGroup
+}
+
+// newSinkServer binds the listener, opens the artifact, and starts the
+// accept loop.
+func newSinkServer(cfg sinkConfig) (*sinkServer, error) {
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return nil, fmt.Errorf("statsink: %w", err)
+	}
+	s := &sinkServer{
+		cfg:     cfg,
+		ln:      ln,
+		events:  map[string]uint64{},
+		kinds:   map[string]uint64{},
+		conns:   map[net.Conn]struct{}{},
+		console: os.Stdout,
+	}
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("statsink: %w", err)
+		}
+		s.file, s.w = f, bufio.NewWriter(f)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address (tests bind :0).
+func (s *sinkServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *sinkServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn consumes one source's newline-delimited JSON stream.
+func (s *sinkServer) handleConn(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.WideEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			s.mu.Lock()
+			s.badLines++
+			s.mu.Unlock()
+			continue
+		}
+		s.ingest(ev, peer)
+	}
+}
+
+// ingest merges one event: artifact line, tallies, console line.
+func (s *sinkServer) ingest(ev obs.WideEvent, peer string) {
+	rec := mergedRecord{WideEvent: ev, RecvMs: time.Now().UnixMilli(), Peer: peer}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	src := ev.Source
+	if src == "" {
+		src = peer
+	}
+	s.events[src]++
+	s.kinds[ev.Kind]++
+	if ev.Kind == obs.KindAlert {
+		s.alerts++
+	}
+	if s.w != nil {
+		if b, err := json.Marshal(rec); err == nil {
+			s.w.Write(b)
+			s.w.WriteByte('\n')
+			// Flush per event: sources tick once a second, and a reader
+			// tailing the artifact (or a crash) should not lose a window.
+			s.w.Flush()
+		}
+	}
+	if !s.cfg.quiet {
+		fmt.Fprintln(s.console, renderEvent(rec))
+	}
+}
+
+// renderEvent compresses one event to the live console line.
+func renderEvent(rec mergedRecord) string {
+	ts := time.UnixMilli(rec.RecvMs).Format("15:04:05.000")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-10s %-6s", ts, rec.Source, rec.Kind)
+	if rec.Phase != "" {
+		fmt.Fprintf(&b, " phase=%s", rec.Phase)
+	}
+	if rec.Alert != nil {
+		a := rec.Alert
+		fmt.Fprintf(&b, " %s %s[class %d] fast=%.1f slow=%.1f (threshold %.1f)",
+			strings.ToUpper(a.State), a.SLO, a.Class, a.FastBurn, a.SlowBurn, a.Threshold)
+		return b.String()
+	}
+	// Scalar gauges in stable order.
+	keys := make([]string, 0, len(rec.Num))
+	for k := range rec.Num {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, trimFloat(rec.Num[k]))
+	}
+	for _, c := range rec.Classes {
+		fmt.Fprintf(&b, " | c%d %.0frps ok=%d", c.Class, c.RPS, c.OK)
+		if c.Refused > 0 {
+			fmt.Fprintf(&b, " ref=%d", c.Refused)
+		}
+		if c.Timeouts > 0 {
+			fmt.Fprintf(&b, " to=%d", c.Timeouts)
+		}
+		if c.P99Ns > 0 {
+			fmt.Fprintf(&b, " p99=%s", time.Duration(c.P99Ns).Round(10*time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Close stops accepting, waits out the source connections, and flushes
+// the artifact.
+func (s *sinkServer) Close() error {
+	s.ln.Close()
+	// Sources keep their sockets open for the process lifetime; force
+	// their reads to finish so every line already in flight is merged.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			s.file.Close()
+			return err
+		}
+		return s.file.Close()
+	}
+	return nil
+}
+
+// PrintSummary reports the merged totals per source and kind.
+func (s *sinkServer) PrintSummary(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	srcs := make([]string, 0, len(s.events))
+	for src, n := range s.events {
+		srcs = append(srcs, src)
+		total += n
+	}
+	sort.Strings(srcs)
+	fmt.Fprintf(w, "statsink: merged %d events from %d source(s), %d alert transition(s), %d bad line(s)\n",
+		total, len(srcs), s.alerts, s.badLines)
+	for _, src := range srcs {
+		fmt.Fprintf(w, "statsink:   %-12s %d events\n", src, s.events[src])
+	}
+	kinds := make([]string, 0, len(s.kinds))
+	for k := range s.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "statsink:   kind %-8s %d\n", k, s.kinds[k])
+	}
+}

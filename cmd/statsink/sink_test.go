@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sliceaware/internal/obs"
+)
+
+// startSink spins a test sink on a free port with a temp artifact.
+func startSink(t *testing.T) (*sinkServer, string) {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	s, err := newSinkServer(sinkConfig{listen: "127.0.0.1:0", out: out, quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, out
+}
+
+// TestSinkMergesSourcesIntoJSONL drives two obs.Client sources into one
+// statsink and checks the merged artifact: every line parses, carries
+// the receive enrichment, and both sources appear.
+func TestSinkMergesSourcesIntoJSONL(t *testing.T) {
+	s, out := startSink(t)
+
+	daemon := obs.DialSink(s.Addr(), "slicekvsd")
+	loadgen := obs.DialSink(s.Addr(), "loadgen")
+	daemon.Send(obs.WideEvent{Kind: obs.KindStats, Num: map[string]float64{"ladder_level": 1}})
+	daemon.Send(obs.WideEvent{Kind: obs.KindAlert,
+		Alert: &obs.AlertPayload{SLO: obs.SLOAvailability, Class: 0, State: "firing", FastBurn: 9}})
+	loadgen.Send(obs.WideEvent{Kind: obs.KindStats, Phase: "measured",
+		Classes: []obs.ClassPoint{{Class: 3, RPS: 120, OK: 120, P99Ns: 2e6}}})
+	daemon.Close()
+	loadgen.Close()
+
+	// The artifact is flushed per event; poll until all three landed.
+	deadline := time.Now().Add(5 * time.Second)
+	var lines []string
+	for time.Now().Before(deadline) {
+		b, _ := os.ReadFile(out)
+		lines = nonEmptyLines(b)
+		if len(lines) >= 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("artifact has %d lines, want 3", len(lines))
+	}
+
+	sources := map[string]int{}
+	kinds := map[string]int{}
+	for _, ln := range lines {
+		var rec mergedRecord
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("unparseable artifact line %q: %v", ln, err)
+		}
+		if rec.RecvMs == 0 || rec.Peer == "" {
+			t.Fatalf("line lacks receive enrichment: %q", ln)
+		}
+		sources[rec.Source]++
+		kinds[rec.Kind]++
+	}
+	if sources["slicekvsd"] != 2 || sources["loadgen"] != 1 {
+		t.Fatalf("merged sources = %v, want slicekvsd:2 loadgen:1", sources)
+	}
+	if kinds[obs.KindAlert] != 1 {
+		t.Fatalf("merged kinds = %v, want 1 alert", kinds)
+	}
+
+	var sum bytes.Buffer
+	s.PrintSummary(&sum)
+	for _, want := range []string{"merged 3 events from 2 source(s)", "1 alert transition(s)", "0 bad line(s)"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestSinkSurvivesGarbageLines checks a malformed line is counted, not
+// fatal, and later well-formed lines still merge.
+func TestSinkSurvivesGarbageLines(t *testing.T) {
+	s, out := startSink(t)
+	c := obs.DialSink(s.Addr(), "src")
+	// Hand-roll a connection to inject garbage between valid events.
+	c.Send(obs.WideEvent{Kind: obs.KindStats})
+	raw, err := dialRaw(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.WriteString("this is not json\n")
+	raw.WriteString(`{"kind":"final"}` + "\n")
+	raw.Flush()
+	rawClose()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		b, _ := os.ReadFile(out)
+		if len(nonEmptyLines(b)) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sum bytes.Buffer
+	s.PrintSummary(&sum)
+	if !strings.Contains(sum.String(), "1 bad line(s)") {
+		t.Fatalf("summary did not count the garbage line:\n%s", sum.String())
+	}
+	if !strings.Contains(sum.String(), "merged 2 events") {
+		t.Fatalf("valid events around the garbage were lost:\n%s", sum.String())
+	}
+}
+
+func TestRenderEvent(t *testing.T) {
+	line := renderEvent(mergedRecord{
+		WideEvent: obs.WideEvent{
+			Source: "slicekvsd", Kind: obs.KindStats,
+			Num:     map[string]float64{"ladder_level": 2, "shards_down": 0},
+			Classes: []obs.ClassPoint{{Class: 0, RPS: 310, OK: 300, Refused: 45, P99Ns: 1.2e6}},
+		},
+		RecvMs: time.Date(2026, 8, 7, 12, 0, 1, 0, time.Local).UnixMilli(),
+	})
+	for _, want := range []string{"slicekvsd", "ladder_level=2", "c0 310rps", "ref=45", "p99=1.2ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("render %q missing %q", line, want)
+		}
+	}
+	alert := renderEvent(mergedRecord{WideEvent: obs.WideEvent{
+		Source: "slicekvsd", Kind: obs.KindAlert,
+		Alert: &obs.AlertPayload{SLO: "availability", Class: 0, State: "firing", FastBurn: 22.3, SlowBurn: 8.8, Threshold: 4},
+	}})
+	for _, want := range []string{"FIRING", "availability[class 0]", "fast=22.3"} {
+		if !strings.Contains(alert, want) {
+			t.Errorf("alert render %q missing %q", alert, want)
+		}
+	}
+}
+
+var rawClose func()
+
+func dialRaw(addr string) (*bufio.Writer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rawClose = func() { conn.Close() }
+	return bufio.NewWriter(conn), nil
+}
+
+func nonEmptyLines(b []byte) []string {
+	var out []string
+	for _, ln := range strings.Split(string(b), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			out = append(out, ln)
+		}
+	}
+	return out
+}

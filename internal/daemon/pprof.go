@@ -1,0 +1,21 @@
+package daemon
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AttachPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// an existing mux (the health/metrics sidecar). The daemon binaries use
+// their own mux rather than http.DefaultServeMux, so the blank-import
+// registration trick does not apply; this does the same wiring
+// explicitly, and only when the operator asks for it (-pprof) — the
+// profiling endpoints expose enough about a process that they should
+// never be on by default.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

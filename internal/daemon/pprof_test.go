@@ -1,0 +1,54 @@
+package daemon
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAttachPprof checks the pprof handlers answer on the sidecar mux
+// without disturbing the probe endpoints.
+func TestAttachPprof(t *testing.T) {
+	lc := NewLifecycle()
+	mux := Mux(lc, nil, nil)
+	AttachPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// The probe endpoints still answer.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz broke after AttachPprof: %d", resp.StatusCode)
+	}
+}
+
+// TestPprofNotMountedByDefault is the guard: a bare Mux must not expose
+// the profiling surface.
+func TestPprofNotMountedByDefault(t *testing.T) {
+	srv := httptest.NewServer(Mux(NewLifecycle(), nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound && !strings.HasPrefix(resp.Status, "404") {
+		t.Fatalf("bare mux serves /debug/pprof/: %s", resp.Status)
+	}
+}

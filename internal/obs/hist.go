@@ -1,0 +1,86 @@
+package obs
+
+import "sort"
+
+// Bucket math over telemetry.Histogram snapshots. The per-second stats
+// pipeline works on *deltas* of the cumulative histograms the daemon
+// already exports: subtract the previous tick's counts, then estimate
+// quantiles and threshold-violation counts from the windowed bucket mass.
+
+// HistCursor tracks one histogram between ticks and yields per-tick
+// bucket deltas. Not safe for concurrent use; each stats loop owns its
+// cursors.
+type HistCursor struct {
+	prev []uint64
+}
+
+// Delta returns counts-prev (elementwise) and its total, then adopts
+// counts as the new baseline. A length change (first call, or a registry
+// rebuild) resets the baseline and returns the full counts.
+func (c *HistCursor) Delta(counts []uint64) (delta []uint64, total uint64) {
+	delta = make([]uint64, len(counts))
+	for i := range counts {
+		if c.prev != nil && len(c.prev) == len(counts) && counts[i] >= c.prev[i] {
+			delta[i] = counts[i] - c.prev[i]
+		} else {
+			delta[i] = counts[i]
+		}
+		total += delta[i]
+	}
+	c.prev = append(c.prev[:0], counts...)
+	return delta, total
+}
+
+// QuantileFromBuckets estimates the q-quantile (0 < q < 1) of the
+// observations in counts, where counts[i] is the mass in
+// (bounds[i-1], bounds[i]] and counts[len(bounds)] is the +Inf overflow.
+// Linear interpolation within the landing bucket; the overflow bucket
+// clamps to the last finite bound. Returns 0 when there is no mass.
+func QuantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (target - cum) / float64(c)
+			return lo + frac*(bounds[i]-lo)
+		}
+		cum = next
+	}
+	return bounds[len(bounds)-1]
+}
+
+// CountAbove reports the observations in counts that exceeded the
+// threshold, to bucket resolution: mass in every bucket whose range lies
+// entirely above the threshold. A threshold inside a bucket snaps up to
+// that bucket's upper bound (undercounting rather than inventing
+// violations), so SLO thresholds are best chosen on bucket bounds.
+func CountAbove(bounds []float64, counts []uint64, threshold float64) uint64 {
+	// Bucket i = SearchFloat64s(bounds, t) is the first whose upper bound
+	// reaches the threshold. Whether that bound equals t (bucket entirely
+	// ≤ t) or exceeds it (bucket straddles t), the strictly-above mass
+	// starts at bucket i+1 and includes the +Inf overflow.
+	i := sort.SearchFloat64s(bounds, threshold)
+	var above uint64
+	for b := i + 1; b < len(counts); b++ {
+		above += counts[b]
+	}
+	return above
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+func TestHistCursorDelta(t *testing.T) {
+	var c HistCursor
+	d, total := c.Delta([]uint64{5, 10, 0})
+	if total != 15 || d[0] != 5 || d[1] != 10 {
+		t.Fatalf("first delta = %v (%d), want full counts", d, total)
+	}
+	d, total = c.Delta([]uint64{7, 10, 3})
+	if total != 5 || d[0] != 2 || d[1] != 0 || d[2] != 3 {
+		t.Fatalf("second delta = %v (%d), want [2 0 3] (5)", d, total)
+	}
+	// Length change resets the baseline.
+	d, total = c.Delta([]uint64{4, 4})
+	if total != 8 {
+		t.Fatalf("reset delta total = %d, want 8", total)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{100, 200, 400, 800}
+	// 10 obs in (100,200], 10 in (200,400].
+	counts := []uint64{0, 10, 10, 0, 0}
+	if p50 := QuantileFromBuckets(bounds, counts, 0.5); p50 != 200 {
+		t.Fatalf("p50 = %g, want 200 (upper bound of the median bucket)", p50)
+	}
+	p99 := QuantileFromBuckets(bounds, counts, 0.99)
+	if p99 < 390 || p99 > 400 {
+		t.Fatalf("p99 = %g, want ~396..400", p99)
+	}
+	// All mass in the overflow clamps to the last finite bound.
+	if q := QuantileFromBuckets(bounds, []uint64{0, 0, 0, 0, 7}, 0.5); q != 800 {
+		t.Fatalf("overflow quantile = %g, want 800", q)
+	}
+	if q := QuantileFromBuckets(bounds, []uint64{0, 0, 0, 0, 0}, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	bounds := []float64{100, 200, 400}
+	counts := []uint64{1, 2, 4, 8} // last is +Inf overflow
+	cases := []struct {
+		threshold float64
+		want      uint64
+	}{
+		{200, 12}, // exact bound: buckets (200,400] and overflow
+		{150, 12}, // inside (100,200]: that bucket snaps up, excluded
+		{400, 8},  // only the overflow
+		{50, 14},  // below the first bound: bucket (100,200] up (bucket 0 straddles)
+		{1000, 0}, // inside the +Inf overflow: snaps up, nothing counted
+	}
+	for _, c := range cases {
+		if got := CountAbove(bounds, counts, c.threshold); got != c.want {
+			t.Errorf("CountAbove(%g) = %d, want %d", c.threshold, got, c.want)
+		}
+	}
+	if got := CountAbove(nil, nil, 5); got != 0 {
+		t.Errorf("empty CountAbove = %d, want 0", got)
+	}
+}

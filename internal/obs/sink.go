@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Client streams wide events to a statsink over TCP with strict
+// drop-don't-block semantics: Send enqueues into a bounded buffer and
+// returns immediately — a slow, dead, or never-up sink can cost the
+// caller nothing but dropped events (counted, surfaced via Dropped).
+// The background writer dials lazily, reconnects with capped exponential
+// backoff, and bounds every socket write with a deadline.
+//
+// A nil *Client is a no-op on every method.
+type Client struct {
+	addr   string
+	source string
+
+	ch      chan WideEvent
+	seq     atomic.Uint64
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+const (
+	sinkBuffer       = 512
+	sinkDialTimeout  = 2 * time.Second
+	sinkWriteTimeout = 2 * time.Second
+	sinkBackoffBase  = 100 * time.Millisecond
+	sinkBackoffMax   = 5 * time.Second
+	sinkCloseFlush   = time.Second
+)
+
+// DialSink starts a sink client for addr, tagging every event with
+// source. It never blocks and never fails: connection establishment is
+// the background writer's problem.
+func DialSink(addr, source string) *Client {
+	c := &Client{
+		addr:   addr,
+		source: source,
+		ch:     make(chan WideEvent, sinkBuffer),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// Send stamps and enqueues one event. Returns false (and counts a drop)
+// when the buffer is full or the client is nil/closed — never blocks.
+func (c *Client) Send(ev WideEvent) bool {
+	if c == nil {
+		return false
+	}
+	ev.Source = c.source
+	ev.Seq = c.seq.Add(1)
+	if ev.TsMs == 0 {
+		ev.TsMs = time.Now().UnixMilli()
+	}
+	select {
+	case c.ch <- ev:
+		return true
+	default:
+		c.dropped.Add(1)
+		return false
+	}
+}
+
+// Sent reports events successfully written to the sink socket.
+func (c *Client) Sent() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.sent.Load()
+}
+
+// Dropped reports events lost to a full buffer or a broken socket.
+func (c *Client) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped.Load()
+}
+
+// Close stops the writer after a bounded best-effort flush of whatever
+// is already buffered. Idempotent-unsafe (call once); nil-safe.
+func (c *Client) Close() {
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	select {
+	case <-c.done:
+	case <-time.After(sinkCloseFlush + sinkDialTimeout):
+	}
+}
+
+// loop is the background writer: dial, drain, reconnect.
+func (c *Client) loop() {
+	defer close(c.done)
+	var conn net.Conn
+	var enc *json.Encoder
+	backoff := sinkBackoffBase
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	dial := func() bool {
+		nc, err := net.DialTimeout("tcp", c.addr, sinkDialTimeout)
+		if err != nil {
+			return false
+		}
+		conn, enc = nc, json.NewEncoder(nc)
+		backoff = sinkBackoffBase
+		return true
+	}
+
+	write := func(ev WideEvent) {
+		if conn == nil && !dial() {
+			c.dropped.Add(1)
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(sinkWriteTimeout))
+		if err := enc.Encode(ev); err != nil {
+			// The event is lost; the next one re-dials.
+			conn.Close()
+			conn, enc = nil, nil
+			c.dropped.Add(1)
+			return
+		}
+		c.sent.Add(1)
+	}
+
+	for {
+		select {
+		case <-c.stop:
+			// Bounded flush of what is already queued.
+			deadline := time.Now().Add(sinkCloseFlush)
+			for {
+				select {
+				case ev := <-c.ch:
+					if time.Now().After(deadline) {
+						c.dropped.Add(1)
+						continue
+					}
+					write(ev)
+				default:
+					return
+				}
+			}
+		case ev := <-c.ch:
+			if conn == nil && !dial() {
+				// Can't connect: drop this event and back off so a dead
+				// sink costs one dial per backoff window, not per event.
+				c.dropped.Add(1)
+				select {
+				case <-c.stop:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > sinkBackoffMax {
+					backoff = sinkBackoffMax
+				}
+				continue
+			}
+			write(ev)
+		}
+	}
+}

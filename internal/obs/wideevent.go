@@ -1,0 +1,65 @@
+package obs
+
+// The wide-event schema: one newline-delimited JSON object per source per
+// second, streamed to cmd/statsink over TCP. Both serving binaries speak
+// it — slicekvsd snapshots its registry, slicekvs-loadgen snapshots its
+// live tallies — and statsink merges every source into one JSONL
+// artifact, so a single file replays the whole run from both sides of
+// the socket.
+
+// Wide-event kinds.
+const (
+	// KindStats is the per-second snapshot.
+	KindStats = "stats"
+	// KindAlert is an SLO burn-rate alert transition.
+	KindAlert = "alert"
+	// KindPhase marks a phase boundary (loadgen baseline/measured).
+	KindPhase = "phase"
+	// KindFinal is a source's end-of-run summary.
+	KindFinal = "final"
+)
+
+// WideEvent is one observation from one source. Source, Seq and TsMs are
+// stamped by the sink client; everything else is the producer's.
+type WideEvent struct {
+	Source string `json:"source,omitempty"`
+	Kind   string `json:"kind"`
+	TsMs   int64  `json:"ts_ms,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+
+	// Num carries scalar gauges (ladder level, shards down, rps, ...).
+	Num map[string]float64 `json:"num,omitempty"`
+	// Str carries scalar annotations (state names, spec strings, ...).
+	Str map[string]string `json:"str,omitempty"`
+
+	// Classes carries the per-priority-class second.
+	Classes []ClassPoint `json:"classes,omitempty"`
+
+	// Alert is set on KindAlert events.
+	Alert *AlertPayload `json:"alert,omitempty"`
+}
+
+// ClassPoint is one priority class in one per-second snapshot. Counts
+// are per-tick deltas, not cumulative.
+type ClassPoint struct {
+	Class    int     `json:"class"`
+	RPS      float64 `json:"rps"`
+	OK       uint64  `json:"ok"`
+	Refused  uint64  `json:"refused,omitempty"`
+	Timeouts uint64  `json:"timeouts,omitempty"`
+	P50Ns    float64 `json:"p50_ns,omitempty"`
+	P99Ns    float64 `json:"p99_ns,omitempty"`
+	// Causes breaks Refused down by refusal reason.
+	Causes map[string]uint64 `json:"causes,omitempty"`
+}
+
+// AlertPayload is one SLO alert transition.
+type AlertPayload struct {
+	SLO       string  `json:"slo"` // "latency" or "availability"
+	Class     int     `json:"class"`
+	State     string  `json:"state"` // "firing" or "resolved"
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	Threshold float64 `json:"threshold"`
+}

@@ -1,0 +1,118 @@
+// Command jsonlcheck validates a JSONL artifact: every non-empty line
+// must parse as a JSON object, at least -min lines must be present, and
+// every -require dotted.path=value expression must match at least one
+// line. Exit 0 on success, 1 with a reason on failure. Used by the smoke
+// scripts so they need no jq.
+//
+//	jsonlcheck -min 10 -require kind=alert -require alert.state=firing merged.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	min := flag.Int("min", 1, "minimum number of JSON lines")
+	var requires requireList
+	flag.Var(&requires, "require", "dotted.path=value that at least one line must carry (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck [-min N] [-require path=value]... <file.jsonl>")
+		os.Exit(1)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	matched := make([]bool, len(requires))
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+			fail("line %d is not a JSON object: %v", lines+1, err)
+		}
+		lines++
+		for i, req := range requires {
+			if matched[i] {
+				continue
+			}
+			path, want, ok := strings.Cut(req, "=")
+			if !ok {
+				fail("bad -require %q (want path=value)", req)
+			}
+			if got, ok := lookup(doc, path); ok && scalarString(got) == want {
+				matched[i] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("%v", err)
+	}
+	if lines < *min {
+		fail("%d JSON lines, want at least %d", lines, *min)
+	}
+	for i, req := range requires {
+		if !matched[i] {
+			fail("no line satisfies -require %s", req)
+		}
+	}
+	fmt.Printf("jsonlcheck: ok (%d lines, %d requirement(s))\n", lines, len(requires))
+}
+
+// lookup walks a dotted path through nested JSON objects.
+func lookup(doc map[string]any, path string) (any, bool) {
+	var cur any = doc
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		if cur, ok = m[part]; !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// scalarString renders a JSON scalar the way the -require syntax spells
+// it: strings verbatim, numbers without a trailing ".0", bools as
+// true/false.
+func scalarString(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%v", x)
+	case bool:
+		return fmt.Sprintf("%v", x)
+	default:
+		return ""
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsonlcheck: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Observability smoke: run the full streaming pipeline end to end.
+# statsink collects wide events from both sides of the serving socket
+# while slicekvsd (tracing sampled, availability SLO armed) is driven
+# past saturation by slicekvs-loadgen. Assertions:
+#
+#   - /metrics exposes the per-stage wall-clock histogram family and the
+#     SLO burn-rate gauges, and /debug/pprof answers when -pprof is set
+#   - the class-0 availability SLO fires during the overload storm and
+#     resolves after the load stops
+#   - the daemon writes a parseable chrome://tracing file on drain
+#   - the loadgen writes its machine-readable result document
+#   - the merged JSONL artifact is non-empty, every line parses, and it
+#     holds stats from both sources plus the firing AND resolved alert
+#
+# Exit 0 means every assertion held. Used by `make obs-smoke` and the
+# obs-smoke CI job.
+set -euo pipefail
+
+ADDR=127.0.0.1:21311
+HTTP=127.0.0.1:29190
+SINK=127.0.0.1:29901
+WORKDIR="$(mktemp -d)"
+MERGED="$WORKDIR/merged.jsonl"
+TRACE="$WORKDIR/trace.json"
+DAEMON_LOG="$WORKDIR/slicekvsd.log"
+SINK_LOG="$WORKDIR/statsink.log"
+SRV_PID=
+SINK_PID=
+
+cleanup() {
+	for pid in "$SRV_PID" "$SINK_PID"; do
+		if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+			kill -KILL "$pid" 2>/dev/null || true
+		fi
+	done
+	rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "obs-smoke: FAIL: $*" >&2
+	echo "--- slicekvsd log ---" >&2
+	cat "$DAEMON_LOG" >&2 || true
+	echo "--- statsink log ---" >&2
+	cat "$SINK_LOG" >&2 || true
+	exit 1
+}
+
+echo "obs-smoke: building binaries"
+go build -o "$WORKDIR/slicekvsd" ./cmd/slicekvsd
+go build -o "$WORKDIR/slicekvs-loadgen" ./cmd/slicekvs-loadgen
+go build -o "$WORKDIR/statsink" ./cmd/statsink
+go build -o "$WORKDIR/httpget" ./scripts/httpget
+go build -o "$WORKDIR/jsonlcheck" ./scripts/jsonlcheck
+
+healthz() {
+	"$WORKDIR/httpget" "http://$HTTP/healthz" 2>/dev/null || true
+}
+
+echo "obs-smoke: starting statsink"
+"$WORKDIR/statsink" -listen "$SINK" -out "$MERGED" >"$SINK_LOG" 2>&1 &
+SINK_PID=$!
+
+echo "obs-smoke: starting slicekvsd (tracing sampled, SLO armed)"
+# Short burn windows so the overload storm fires the class-0 availability
+# alert within the run and the post-load idle resolves it: at 250ms ticks
+# the fast window is 8 ticks, and idle ticks carry zero burn.
+"$WORKDIR/slicekvsd" \
+	-addr "$ADDR" -http "$HTTP" \
+	-shards 4 -keys 65536 -warmup 256 \
+	-full-sojourn 300us \
+	-lame-duck 500ms -drain-timeout 10s \
+	-sink-addr "$SINK" -stats-tick 250ms \
+	-trace-sample 16 -trace-out "$TRACE" \
+	-pprof \
+	-slo 'avail:0:0.9' -slo-burn 2 -slo-fast 2s -slo-slow 6s \
+	>"$DAEMON_LOG" 2>&1 &
+SRV_PID=$!
+
+echo "obs-smoke: waiting for ready"
+for i in $(seq 1 100); do
+	if [ "$(healthz)" = "ready" ]; then
+		break
+	fi
+	kill -0 "$SRV_PID" 2>/dev/null || fail "daemon exited before becoming ready"
+	[ "$i" = 100 ] && fail "daemon never became ready"
+	sleep 0.1
+done
+echo "obs-smoke: /healthz = ready"
+
+echo "obs-smoke: running loadgen (baseline + chaos storm, streaming)"
+# nic-corrupt:0.3 injects errors into ~30% of measured-phase requests, so
+# the class-0 availability burn is ~3x budget — comfortably past the 2x
+# threshold on both windows.
+"$WORKDIR/slicekvs-loadgen" \
+	-addr "$ADDR" -keys 65536 -conns 32 -classes 4 \
+	-seed 1 -duration 6s -baseline 2s -baseline-rate 200 \
+	-set-ratio 0.1 -churn-every 200 -timeout 1s \
+	-chaos 'nic-corrupt:0.3' -chaos-seed 42 \
+	-sink-addr "$SINK" \
+	-out "$WORKDIR/loadgen-result.json" \
+	-json "$WORKDIR/loadgen.json" \
+	|| fail "loadgen failed (exit $?)"
+[ -s "$WORKDIR/loadgen-result.json" ] || fail "loadgen -out document missing or empty"
+grep -q '"phases"' "$WORKDIR/loadgen-result.json" || fail "loadgen -out document lacks phases"
+echo "obs-smoke: loadgen done, result document written"
+
+echo "obs-smoke: checking /metrics and /debug/pprof"
+METRICS="$WORKDIR/metrics.txt"
+"$WORKDIR/httpget" "http://$HTTP/metrics" >"$METRICS" || fail "metrics scrape failed"
+grep -q 'slicekvsd_request_stage_ns_bucket' "$METRICS" || fail "/metrics lacks the per-stage histogram family"
+grep -q 'slicekvsd_slo_burn_rate' "$METRICS" || fail "/metrics lacks the SLO burn-rate gauges"
+"$WORKDIR/httpget" "http://$HTTP/debug/pprof/cmdline" >/dev/null || fail "/debug/pprof/cmdline not answering with -pprof set"
+
+echo "obs-smoke: waiting for the SLO alert to fire and resolve"
+grep -q 'SLO firing' "$DAEMON_LOG" || fail "class-0 availability alert never fired during the storm"
+for i in $(seq 1 200); do
+	if grep -q 'SLO resolved' "$DAEMON_LOG"; then
+		break
+	fi
+	[ "$i" = 200 ] && fail "alert never resolved within 10s of the load stopping"
+	sleep 0.05
+done
+echo "obs-smoke: alert fired during overload and resolved after"
+
+echo "obs-smoke: sending SIGTERM to slicekvsd"
+kill -TERM "$SRV_PID"
+for i in $(seq 1 200); do
+	if ! kill -0 "$SRV_PID" 2>/dev/null; then
+		break
+	fi
+	[ "$i" = 200 ] && fail "daemon did not exit within 10s of SIGTERM"
+	sleep 0.05
+done
+wait "$SRV_PID" || fail "daemon exited non-zero"
+SRV_PID=
+
+[ -s "$TRACE" ] || fail "chrome trace file missing or empty at $TRACE"
+grep -q '"shard_service"' "$TRACE" || fail "chrome trace lacks shard_service spans"
+grep -q '"request:get"' "$TRACE" || fail "chrome trace lacks request:get spans"
+echo "obs-smoke: chrome trace written ($(wc -c <"$TRACE") bytes)"
+
+echo "obs-smoke: stopping statsink and validating the merged artifact"
+kill -TERM "$SINK_PID"
+for i in $(seq 1 100); do
+	if ! kill -0 "$SINK_PID" 2>/dev/null; then
+		break
+	fi
+	[ "$i" = 100 ] && fail "statsink did not exit within 5s of SIGTERM"
+	sleep 0.05
+done
+wait "$SINK_PID" || fail "statsink exited non-zero"
+SINK_PID=
+
+[ -s "$MERGED" ] || fail "merged JSONL missing or empty at $MERGED"
+"$WORKDIR/jsonlcheck" -min 10 \
+	-require source=slicekvsd \
+	-require source=loadgen \
+	-require kind=stats \
+	-require kind=final \
+	-require alert.state=firing \
+	-require alert.state=resolved \
+	"$MERGED" || fail "merged JSONL failed validation"
+echo "obs-smoke: merged artifact holds both sources and the alert round-trip"
+
+echo "obs-smoke: PASS"
