@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke ci
+.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke crash-smoke ci
 
 all: build test
 
@@ -32,14 +32,16 @@ bench:
 
 # Machine-readable micro-benchmark numbers for the simulator hot paths
 # (slice hash, cache insert/lookup, netsim per-packet loop, table render)
-# plus the observability primitives — the disabled-tracer benchmark in
-# ./internal/obs/ is the proof that tracing off means zero hot-path cost.
-# BENCH_7.json in the repo root is a committed snapshot of this output.
+# plus the observability primitives and the durability layer — the
+# disabled-tracer benchmark in ./internal/obs/ and the no-WAL shard
+# serve benchmark in ./cmd/slicekvsd/ are the proofs that tracing off
+# and journaling off mean zero hot-path cost.
+# BENCH_8.json in the repo root is a committed snapshot of this output.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json \
 		./internal/chash/ ./internal/cachesim/ ./internal/netsim/ \
 		./internal/parallel/ ./internal/experiments/ \
-		./internal/obs/ > BENCH_7.json
+		./internal/obs/ ./internal/wal/ ./cmd/slicekvsd/ > BENCH_8.json
 
 # Parallel determinism gate: the full quick reproduction must be
 # byte-identical at -jobs 1 and -jobs 4 (timestamps and wall-clock
@@ -69,4 +71,13 @@ daemon-smoke:
 obs-smoke:
 	bash scripts/obs_smoke.sh
 
-ci: build vet race determinism daemon-smoke obs-smoke
+# End-to-end crash smoke: slicekvsd with -wal-dir is SIGKILLed at
+# seeded points under write load, and every restart must replay
+# snapshot+journal before ready, keep every acked write below the
+# recovery horizon visible at its acked version, bound the acked-lost
+# window to the group-commit size, and quarantine a corrupt journal
+# suffix without losing the durable prefix.
+crash-smoke:
+	bash scripts/crash_smoke.sh
+
+ci: build vet race determinism daemon-smoke obs-smoke crash-smoke

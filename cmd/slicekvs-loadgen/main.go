@@ -12,6 +12,13 @@
 // -assert-tail-ratio of the baseline and (b) the bottom class was
 // actually shed. Exit code 1 means the assertion failed, 2 means the run
 // itself could not complete.
+//
+// Two durability modes pair with the daemon's -wal-dir crash
+// consistency: -verify drives verbose SETs and persists a client-side
+// ledger of every acknowledged write, and -check replays that ledger
+// against a restarted server, asserting recovered acked writes are
+// visible and the loss window stays within -max-loss. A crash harness
+// (scripts/crash_smoke.sh) alternates the two around SIGKILLs.
 package main
 
 import (
@@ -51,6 +58,13 @@ type lgConfig struct {
 
 	chaosSpec string
 	chaosSeed int64
+
+	verify        bool   // ledger-building setv phase
+	ledgerPath    string // where -verify persists the acked-write ledger
+	checkPath     string // ledger to verify against a recovered server
+	prevCheckPath string // previous -check-out for monotonicity
+	checkOutPath  string // machine-readable check verdict
+	maxLoss       uint64 // per-shard acked-but-lost bound (group-commit window)
 
 	baseline        time.Duration // baseline phase length (0 = skip)
 	baselineRate    float64
@@ -110,6 +124,12 @@ func main() {
 	flag.IntVar(&cfg.churnEvery, "churn-every", 200, "reconnect every N requests (0 disables churn)")
 	flag.StringVar(&cfg.chaosSpec, "chaos", "", "fault plan to arm, e.g. nic-drop:0.01,slowdown:0.2:100000")
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 42, "seed for the armed fault plan")
+	flag.BoolVar(&cfg.verify, "verify", false, "durability mode: drive setv and persist an acked-write ledger to -ledger")
+	flag.StringVar(&cfg.ledgerPath, "ledger", "", "acked-write ledger file written by -verify")
+	flag.StringVar(&cfg.checkPath, "check", "", "verify a recovered server against this acked-write ledger (exits 1 on a durability violation)")
+	flag.StringVar(&cfg.prevCheckPath, "prev-check", "", "previous -check-out document; asserts recovered seqnos never regress")
+	flag.StringVar(&cfg.checkOutPath, "check-out", "", "write the check verdict as JSON")
+	flag.Uint64Var(&cfg.maxLoss, "max-loss", 256, "per-shard bound on acked writes lost to the group-commit window")
 	flag.DurationVar(&cfg.baseline, "baseline", 0, "unloaded baseline phase length before the measured phase")
 	flag.Float64Var(&cfg.baselineRate, "baseline-rate", 200, "baseline phase target rate")
 	flag.Float64Var(&cfg.assertTailRatio, "assert-tail-ratio", 0, "fail unless top-class p99 ≤ ratio × baseline p99 and class 0 was shed (requires -baseline)")
@@ -118,7 +138,14 @@ func main() {
 	flag.StringVar(&cfg.sinkAddr, "sink-addr", "", "statsink address to stream per-second client-side stats to (empty disables)")
 	flag.Parse()
 
-	if err := run(cfg); err != nil {
+	mode := run
+	switch {
+	case cfg.checkPath != "":
+		mode = runCheck
+	case cfg.verify:
+		mode = runVerify
+	}
+	if err := mode(cfg); err != nil {
 		if _, failed := err.(assertError); failed {
 			fmt.Fprintln(os.Stderr, "ASSERT FAILED:", err)
 			os.Exit(1)

@@ -1,0 +1,496 @@
+// Durability verification: -verify drives acked writes through the
+// verbose protocol (setv) and persists a client-side ledger of every
+// acknowledged write — key, owning shard, write seqno, resulting
+// version. -check replays that ledger against a restarted server and
+// asserts the crash-recovery invariants: every acked write whose seqno
+// the server reports as recovered is still visible at (at least) its
+// acked version, and the acked-but-lost window per shard stays within
+// the configured group-commit bound.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sliceaware/internal/zipf"
+)
+
+// ledgerKey is the highest acked write the client saw for one key.
+type ledgerKey struct {
+	Shard int    `json:"shard"`
+	Seq   uint64 `json:"seq"`
+	Ver   uint64 `json:"ver"`
+}
+
+// ledgerShard aggregates acked writes routed to one shard.
+type ledgerShard struct {
+	MaxAckedSeq uint64 `json:"max_acked_seq"`
+	AckedSets   uint64 `json:"acked_sets"`
+}
+
+// verifyLedger is the client-side acked-write ledger (-ledger file).
+type verifyLedger struct {
+	Keys   map[string]ledgerKey   `json:"keys"`
+	Shards map[string]ledgerShard `json:"shards"`
+}
+
+func newVerifyLedger() *verifyLedger {
+	return &verifyLedger{Keys: map[string]ledgerKey{}, Shards: map[string]ledgerShard{}}
+}
+
+// record folds one acked setv response into the ledger, keeping the
+// maximum version per key and seqno per shard.
+func (l *verifyLedger) record(key string, shard int, seq, ver uint64) {
+	if cur, ok := l.Keys[key]; !ok || ver > cur.Ver {
+		l.Keys[key] = ledgerKey{Shard: shard, Seq: seq, Ver: ver}
+	}
+	id := strconv.Itoa(shard)
+	s := l.Shards[id]
+	if seq > s.MaxAckedSeq {
+		s.MaxAckedSeq = seq
+	}
+	s.AckedSets++
+	l.Shards[id] = s
+}
+
+// runVerify is the -verify phase: workers hammer setv for the duration,
+// tolerate the server dying underneath them (reconnect-with-backoff
+// until time is up — a crash harness kills the daemon mid-phase on
+// purpose), then merge their ledgers and write the ledger file. The
+// phase itself never fails on connection loss; only an unwritable
+// ledger is an error.
+func runVerify(cfg lgConfig) error {
+	if cfg.ledgerPath == "" {
+		return fmt.Errorf("-verify needs -ledger to persist the acked-write ledger")
+	}
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.duration, func() { close(stop) })
+
+	ledgers := make([]*verifyLedger, cfg.conns)
+	acked := make([]uint64, cfg.conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.conns; i++ {
+		i := i
+		ledgers[i] = newVerifyLedger()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acked[i] = verifyWorker(cfg, i, start, stop, ledgers[i])
+		}()
+	}
+	wg.Wait()
+
+	merged := newVerifyLedger()
+	var totalAcked uint64
+	for i, l := range ledgers {
+		totalAcked += acked[i]
+		for key, e := range l.Keys {
+			if cur, ok := merged.Keys[key]; !ok || e.Ver > cur.Ver {
+				merged.Keys[key] = e
+			}
+		}
+		for id, ws := range l.Shards {
+			s := merged.Shards[id]
+			s.AckedSets += ws.AckedSets
+			if ws.MaxAckedSeq > s.MaxAckedSeq {
+				s.MaxAckedSeq = ws.MaxAckedSeq
+			}
+			merged.Shards[id] = s
+		}
+	}
+
+	fmt.Fprintf(report, "verify: %d acked writes over %d keys in %.1fs\n",
+		totalAcked, len(merged.Keys), time.Since(start).Seconds())
+	ids := make([]string, 0, len(merged.Shards))
+	for id := range merged.Shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := merged.Shards[id]
+		fmt.Fprintf(report, "  shard %s: %d acked, max acked seq %d\n", id, s.AckedSets, s.MaxAckedSeq)
+	}
+	return writeJSONFile(cfg.ledgerPath, merged)
+}
+
+// verifyWorker is the closed loop of one verifying connection: setv,
+// parse the verbose ack, ledger it. Connection loss and refusals back
+// off and retry; the loop only ends when the phase does.
+func verifyWorker(cfg lgConfig, id int, phaseStart time.Time, stop <-chan struct{}, led *verifyLedger) uint64 {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	gen, err := zipf.NewZipf(rng, cfg.keys, cfg.theta)
+	if err != nil {
+		return 0
+	}
+	c, ok := connect(cfg, id%cfg.classes, stop)
+	if !ok {
+		return 0
+	}
+	defer c.close()
+
+	backoff := cfg.backoffBase
+	var acked uint64
+	for {
+		select {
+		case <-stop:
+			return acked
+		default:
+		}
+		if r := rateAt(cfg, time.Since(phaseStart)); r > 0 {
+			interval := time.Duration(float64(cfg.conns) / r * float64(time.Second))
+			select {
+			case <-stop:
+				return acked
+			case <-time.After(interval):
+			}
+		}
+
+		key := fmt.Sprintf("k%d", gen.Next())
+		shard, seq, ver, outcome := doSetv(c, cfg.timeout, key)
+		switch outcome {
+		case "ok":
+			led.record(key, shard, seq, ver)
+			acked++
+			backoff = cfg.backoffBase
+		case "timeout", "conn":
+			c.close()
+			select {
+			case <-stop:
+				return acked
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			if c, ok = connect(cfg, id%cfg.classes, stop); !ok {
+				return acked
+			}
+		default:
+			select {
+			case <-stop:
+				return acked
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+	}
+}
+
+// doSetv performs one verbose SET and parses `STORED <shard> <seq>
+// <ver>`. Outcome classification mirrors doRequest.
+func doSetv(c *lgConn, timeout time.Duration, key string) (shard int, seq, ver uint64, outcome string) {
+	c.conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(c.conn, "setv %s 0 0 5\r\nhello\r\n", key); err != nil {
+		return 0, 0, 0, "conn"
+	}
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return 0, 0, 0, "timeout"
+		}
+		return 0, 0, 0, "conn"
+	}
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) == 4 && fields[0] == "STORED" {
+		sh, err1 := strconv.Atoi(fields[1])
+		sq, err2 := strconv.ParseUint(fields[2], 10, 64)
+		vr, err3 := strconv.ParseUint(fields[3], 10, 64)
+		if err1 == nil && err2 == nil && err3 == nil {
+			return sh, sq, vr, "ok"
+		}
+		return 0, 0, 0, "protocol"
+	}
+	if strings.HasPrefix(line, "SERVER_ERROR") {
+		return 0, 0, 0, refusalReason(line)
+	}
+	return 0, 0, 0, "protocol"
+}
+
+// checkShard is one shard's recovery verdict in the -check-out document.
+type checkShard struct {
+	RecoveredSeq uint64 `json:"recovered_seq"`
+	DurableSeq   uint64 `json:"durable_seq"`
+	MaxAckedSeq  uint64 `json:"max_acked_seq"`
+	WindowLost   uint64 `json:"window_lost"`
+	Quarantined  uint64 `json:"quarantined_bytes"`
+	Restores     uint64 `json:"restores"`
+	Replayed     uint64 `json:"replayed"`
+}
+
+// checkDoc is the machine-readable -check result (-check-out file).
+type checkDoc struct {
+	Shards          map[string]checkShard `json:"shards"`
+	KeysChecked     int                   `json:"keys_checked"`
+	Violations      int                   `json:"violations"`
+	WindowLostTotal uint64                `json:"window_lost_total"`
+	MaxLossLimit    uint64                `json:"max_loss_limit"`
+	Passed          bool                  `json:"passed"`
+	Reason          string                `json:"reason,omitempty"`
+}
+
+// runCheck is the -check phase: load the acked-write ledger, wait for
+// the restarted server to come up, scrape its per-shard recovery
+// seqnos, then getv every ledgered key and assert the recovery
+// invariants. Returns assertError (exit 1) on a durability violation,
+// a plain error (exit 2) when the check itself could not run.
+func runCheck(cfg lgConfig) error {
+	raw, err := os.ReadFile(cfg.checkPath)
+	if err != nil {
+		return fmt.Errorf("check: read ledger: %w", err)
+	}
+	led := newVerifyLedger()
+	if err := json.Unmarshal(raw, led); err != nil {
+		return fmt.Errorf("check: parse ledger %s: %w", cfg.checkPath, err)
+	}
+
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.duration, func() { close(stop) })
+	c, ok := connect(cfg, cfg.classes-1, stop)
+	if !ok {
+		return fmt.Errorf("check: server at %s never came up within %s", cfg.addr, cfg.duration)
+	}
+	defer c.close()
+
+	stats, err := scrapeStats(c, cfg.timeout)
+	if err != nil {
+		return fmt.Errorf("check: stats: %w", err)
+	}
+
+	doc := checkDoc{Shards: map[string]checkShard{}, MaxLossLimit: cfg.maxLoss}
+	for id, ws := range led.Shards {
+		cs := checkShard{
+			MaxAckedSeq:  ws.MaxAckedSeq,
+			RecoveredSeq: stats[fmt.Sprintf("shard%s_wal_recovered_seq", id)],
+			DurableSeq:   stats[fmt.Sprintf("shard%s_wal_durable_seq", id)],
+			Quarantined:  stats[fmt.Sprintf("shard%s_wal_quarantined", id)],
+			Restores:     stats[fmt.Sprintf("shard%s_restores", id)],
+			Replayed:     stats[fmt.Sprintf("shard%s_wal_replayed", id)],
+		}
+		doc.Shards[id] = cs
+	}
+
+	// Deterministic key order so failures reproduce.
+	keys := make([]string, 0, len(led.Keys))
+	for k := range led.Keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var firstViolation string
+	for _, key := range keys {
+		e := led.Keys[key]
+		id := strconv.Itoa(e.Shard)
+		cs := doc.Shards[id]
+		if e.Seq > cs.RecoveredSeq {
+			// Acked inside the group-commit window that died with the
+			// process: bounded loss, not a violation.
+			cs.WindowLost++
+			doc.Shards[id] = cs
+			doc.WindowLostTotal++
+			continue
+		}
+		shard, ver, err := doGetv(cfg, c, stop, key)
+		if err != nil {
+			return fmt.Errorf("check: getv %s: %w", key, err)
+		}
+		doc.KeysChecked++
+		if shard != e.Shard {
+			doc.Violations++
+			if firstViolation == "" {
+				firstViolation = fmt.Sprintf("key %s moved shard: acked %d, now %d", key, e.Shard, shard)
+			}
+			continue
+		}
+		if ver < e.Ver {
+			doc.Violations++
+			if firstViolation == "" {
+				firstViolation = fmt.Sprintf("key %s: acked ver %d at seq %d ≤ recovered %d, server has ver %d",
+					key, e.Ver, e.Seq, cs.RecoveredSeq, ver)
+			}
+		}
+	}
+
+	// Assemble the verdict: acked-write visibility, bounded loss window,
+	// and (when -prev-check is given) monotone recovery progress.
+	var verdict error
+	switch {
+	case doc.Violations > 0:
+		verdict = assertError{fmt.Sprintf("%d acked writes lost below the recovery horizon; first: %s",
+			doc.Violations, firstViolation)}
+	default:
+		for id, cs := range doc.Shards {
+			if cs.MaxAckedSeq > cs.RecoveredSeq && cs.MaxAckedSeq-cs.RecoveredSeq > cfg.maxLoss {
+				verdict = assertError{fmt.Sprintf("shard %s lost %d acked writes (max acked seq %d, recovered %d, limit %d)",
+					id, cs.MaxAckedSeq-cs.RecoveredSeq, cs.MaxAckedSeq, cs.RecoveredSeq, cfg.maxLoss)}
+				break
+			}
+		}
+	}
+	if verdict == nil && cfg.prevCheckPath != "" {
+		verdict = checkMonotone(cfg.prevCheckPath, doc)
+	}
+
+	doc.Passed = verdict == nil
+	if verdict != nil {
+		doc.Reason = verdict.Error()
+	}
+	for _, id := range sortedIDs(doc.Shards) {
+		cs := doc.Shards[id]
+		fmt.Fprintf(report, "check shard %s: recovered seq %d (max acked %d), %d window-lost, %d quarantined bytes, %d restores\n",
+			id, cs.RecoveredSeq, cs.MaxAckedSeq, cs.WindowLost, cs.Quarantined, cs.Restores)
+	}
+	fmt.Fprintf(report, "check: %d keys verified, %d violations, %d window-lost (limit %d/shard): %s\n",
+		doc.KeysChecked, doc.Violations, doc.WindowLostTotal, cfg.maxLoss, passFail(doc.Passed))
+
+	if cfg.checkOutPath != "" {
+		if err := writeJSONFile(cfg.checkOutPath, doc); err != nil {
+			return err
+		}
+	}
+	return verdict
+}
+
+// checkMonotone asserts recovery never regresses across rounds: each
+// shard's recovered seqno is ≥ what the previous check observed.
+func checkMonotone(prevPath string, cur checkDoc) error {
+	raw, err := os.ReadFile(prevPath)
+	if err != nil {
+		return fmt.Errorf("check: read previous check %s: %w", prevPath, err)
+	}
+	var prev checkDoc
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("check: parse previous check %s: %w", prevPath, err)
+	}
+	for id, p := range prev.Shards {
+		if c, ok := cur.Shards[id]; ok && c.RecoveredSeq < p.RecoveredSeq {
+			return assertError{fmt.Sprintf("shard %s recovery regressed: previously recovered seq %d, now %d",
+				id, p.RecoveredSeq, c.RecoveredSeq)}
+		}
+	}
+	return nil
+}
+
+// doGetv reads one key's version, retrying refusals and reconnecting on
+// connection loss until the check budget (stop) runs out.
+func doGetv(cfg lgConfig, c *lgConn, stop <-chan struct{}, key string) (shard int, ver uint64, err error) {
+	backoff := cfg.backoffBase
+	for {
+		c.conn.SetDeadline(time.Now().Add(cfg.timeout))
+		if _, werr := fmt.Fprintf(c.conn, "getv %s\r\n", key); werr == nil {
+			line, rerr := c.br.ReadString('\n')
+			if rerr == nil {
+				fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+				if len(fields) == 4 && fields[0] == "VER" && fields[1] == key {
+					sh, err1 := strconv.Atoi(fields[2])
+					vr, err2 := strconv.ParseUint(fields[3], 10, 64)
+					if err1 == nil && err2 == nil {
+						return sh, vr, nil
+					}
+					return 0, 0, fmt.Errorf("malformed getv response %q", strings.TrimSpace(line))
+				}
+				// A refusal (recovering, degraded, breaker…): back off
+				// below and retry on the same connection.
+			} else {
+				c.close()
+				if nc, ok := connect(cfg, cfg.classes-1, stop); ok {
+					*c = *nc
+				} else {
+					return 0, 0, fmt.Errorf("connection lost and server never came back")
+				}
+			}
+		}
+		select {
+		case <-stop:
+			return 0, 0, fmt.Errorf("check budget exhausted waiting for a readable response")
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// scrapeStats reads the `stats` response into name → numeric value
+// (non-numeric values are skipped).
+func scrapeStats(c *lgConn, timeout time.Duration) (map[string]uint64, error) {
+	c.conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(c.conn, "stats\r\n"); err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for {
+		line, err := c.br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "STAT" {
+			if v, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+				out[fields[1]] = v
+			}
+		}
+	}
+}
+
+func sortedIDs(m map[string]checkShard) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// writeJSONFile writes v as indented JSON via a same-directory rename
+// so a killed writer never leaves a torn document.
+func writeJSONFile(path string, v any) error {
+	f, err := os.CreateTemp(dirOf(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "."
+}

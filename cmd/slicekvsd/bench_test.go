@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// benchShard builds one shard for the worker hot path outside the
+// network, optionally journaling into a temp directory.
+func benchShard(b *testing.B, walOn bool) *shard {
+	b.Helper()
+	cfg := defaultConfig()
+	cfg.shards = 1
+	cfg.keys = 1 << 10
+	cfg.aqm = "none"
+	if walOn {
+		cfg.walDir = b.TempDir()
+	}
+	sh, err := newShard(0, cfg, time.Now())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh.logf = func(string, ...any) {}
+	if walOn {
+		if _, err := sh.recoverState(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(sh.closeWAL)
+	}
+	return sh
+}
+
+// benchServe drives SETs straight through shard.serve — the worker-side
+// hot path a request pays after admission.
+func benchServe(b *testing.B, sh *shard) {
+	req := &request{isGet: false, resp: make(chan respMsg, 1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.rank = uint64(i) & 1023
+		req.enqueued = time.Now()
+		sh.serve(req)
+		if r := <-req.resp; r.err != nil {
+			b.Fatal(r.err)
+		}
+	}
+}
+
+// BenchmarkShardServeSetNoWAL pins the nil-is-free contract: with
+// journaling disabled the SET path pays one nil check over the pre-WAL
+// hot path, and this number must not regress against earlier BENCH_*
+// snapshots of the shard service path.
+func BenchmarkShardServeSetNoWAL(b *testing.B) {
+	benchServe(b, benchShard(b, false))
+}
+
+// BenchmarkShardServeSetWAL is the journaled SET path at default flush
+// thresholds — amortized group commits (fsync every 64 records) and the
+// periodic snapshot are the durability cost per acked write.
+func BenchmarkShardServeSetWAL(b *testing.B) {
+	benchServe(b, benchShard(b, true))
+}

@@ -7,6 +7,12 @@
 // requests finish (bounded), shard statistics checkpoint to disk, and the
 // process exits 0.
 //
+// With -wal-dir set the daemon is crash-consistent: every acked SET is
+// journaled (group-committed within -wal-flush-every), periodic atomic
+// snapshots truncate the journal, startup replays snapshot+journal before
+// /readyz flips, and a crashed shard worker is warm-restarted from its
+// durable state while the degradation ladder floor stays pinned.
+//
 // Pair it with cmd/slicekvs-loadgen, which can arm a seeded fault plan
 // against the live server (`chaos arm`) and measure per-class latency
 // while the daemon degrades and recovers.
@@ -42,6 +48,11 @@ func main() {
 	flag.DurationVar(&cfg.aqmInterval, "aqm-interval", cfg.aqmInterval, "CoDel interval")
 	flag.DurationVar(&cfg.fullSojourn, "full-sojourn", cfg.fullSojourn, "queue wait regarded as full shedding pressure")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", cfg.checkpoint, "drain checkpoint path (empty disables)")
+	flag.StringVar(&cfg.walDir, "wal-dir", cfg.walDir, "per-shard journal+snapshot directory (empty disables durability)")
+	flag.DurationVar(&cfg.walFlushEvery, "wal-flush-every", cfg.walFlushEvery, "group-commit flush interval (the acked-write loss window)")
+	flag.IntVar(&cfg.walFlushRecs, "wal-flush-records", cfg.walFlushRecs, "group-commit record threshold")
+	flag.IntVar(&cfg.walSnapEvery, "wal-snapshot-every", cfg.walSnapEvery, "SETs between snapshots (0 snapshots only at drain)")
+	flag.DurationVar(&cfg.restartBackoff, "restart-backoff", cfg.restartBackoff, "supervisor backoff base for crashed shard workers")
 	flag.StringVar(&cfg.sinkAddr, "sink-addr", "", "statsink address to stream per-second wide events to (empty disables)")
 	flag.DurationVar(&cfg.statsTick, "stats-tick", cfg.statsTick, "wide-event snapshot period")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 0, "trace one request in N through the serving pipeline (0 disables)")

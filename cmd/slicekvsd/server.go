@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +57,15 @@ type config struct {
 
 	checkpoint string // drain checkpoint path ("" disables)
 
+	// Durability. walDir enables per-shard journaling + snapshots; the
+	// loss window for acked writes is bounded by walFlushEvery wall time
+	// or walFlushRecs records, whichever closes first.
+	walDir         string
+	walFlushEvery  time.Duration // group-commit flush interval
+	walFlushRecs   int           // group-commit record threshold
+	walSnapEvery   int           // SETs between snapshots (0 = only at drain)
+	restartBackoff time.Duration // supervisor backoff base for crashed shards
+
 	// Observability. All off by default; when off, the request path pays
 	// one nil-check branch per instrumentation point and zero allocations
 	// (the obs nil-is-free contract).
@@ -95,6 +105,10 @@ func defaultConfig() config {
 		escalateAfter:   25,
 		recoverAfter:    200,
 		statsTick:       time.Second,
+		walFlushEvery:   25 * time.Millisecond,
+		walFlushRecs:    64,
+		walSnapEvery:    8192,
+		restartBackoff:  10 * time.Millisecond,
 		sloBurn:         4,
 		sloFast:         5 * time.Second,
 		sloSlow:         time.Minute,
@@ -117,6 +131,17 @@ func (c config) validate() error {
 	}
 	if c.classes < 1 {
 		return fmt.Errorf("slicekvsd: need ≥1 priority class, got %d", c.classes)
+	}
+	if c.walDir != "" {
+		if c.walFlushRecs < 1 {
+			return fmt.Errorf("slicekvsd: wal flush threshold must be ≥1, got %d", c.walFlushRecs)
+		}
+		if c.walFlushEvery <= 0 {
+			return errors.New("slicekvsd: wal flush interval must be positive")
+		}
+		if c.walSnapEvery < 0 {
+			return errors.New("slicekvsd: wal snapshot period must be ≥0")
+		}
 	}
 	return nil
 }
@@ -209,6 +234,8 @@ func newServer(cfg config) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Late-bound so tests that swap s.logf capture shard logs too.
+		sh.logf = func(format string, args ...any) { s.logf(format, args...) }
 		s.shards = append(s.shards, sh)
 	}
 
@@ -236,9 +263,13 @@ func newServer(cfg config) (*server, error) {
 	s.ladder = ladder
 
 	s.sup = daemon.NewSupervisor(daemon.SupervisorConfig{
-		BackoffBase: 10 * time.Millisecond,
+		BackoffBase: cfg.restartBackoff,
 		BackoffMax:  2 * time.Second,
 		ResetAfter:  5 * time.Second,
+		// Jitter keeps a correlated multi-shard crash from replaying every
+		// journal in lockstep on restart (a restart-storm thundering herd).
+		BackoffJitter: 0.2,
+		JitterSeed:    1,
 		OnStateChange: func(id int, up bool, restarts int, err error) {
 			if up {
 				s.shardsDown.Add(-1)
@@ -312,7 +343,7 @@ func (s *server) initMetrics() {
 		"set": s.reg.CounterL("slicekvsd_requests_total", "Requests dispatched by op", `op="set"`),
 	}
 
-	s.reg.GaugeFunc("slicekvsd_state", "Lifecycle state (0 starting, 1 ready, 2 draining, 3 stopped)", "",
+	s.reg.GaugeFunc("slicekvsd_state", "Lifecycle state (0 starting, 1 ready, 2 draining, 3 stopped, 4 recovering)", "",
 		func() float64 { return float64(s.lc.State()) })
 	s.reg.GaugeFunc("slicekvsd_ladder_level", "Degradation ladder level", "",
 		func() float64 { return float64(s.ladderLevel.Load()) })
@@ -327,6 +358,28 @@ func (s *server) initMetrics() {
 			func() float64 { return float64(len(sh.inbox)) })
 		s.reg.GaugeFunc("slicekvsd_shard_served", "Requests served per shard", lbl,
 			func() float64 { return float64(sh.served.Load()) })
+		if s.cfg.walDir != "" {
+			s.reg.GaugeFunc("slicekvsd_wal_pending_records", "Acked SETs not yet group-committed", lbl,
+				func() float64 { return float64(sh.pendingA.Load()) })
+			s.reg.GaugeFunc("slicekvsd_wal_flush_lag_seconds", "Age of the oldest unflushed acked SET", lbl,
+				func() float64 {
+					first := sh.firstPendingNs.Load()
+					if first == 0 {
+						return 0
+					}
+					return time.Since(time.Unix(0, first)).Seconds()
+				})
+			s.reg.GaugeFunc("slicekvsd_wal_durable_seq", "Last fsynced write seqno", lbl,
+				func() float64 { return float64(sh.durableSeqA.Load()) })
+			s.reg.GaugeFunc("slicekvsd_wal_recovered_seq", "Seqno recovery rebuilt through at last boot/restart", lbl,
+				func() float64 { return float64(sh.recoveredSeqA.Load()) })
+			s.reg.GaugeFunc("slicekvsd_wal_replayed_records", "Journal records replayed by recoveries", lbl,
+				func() float64 { return float64(sh.walReplayedA.Load()) })
+			s.reg.GaugeFunc("slicekvsd_wal_quarantined_bytes", "Journal bytes quarantined as corrupt", lbl,
+				func() float64 { return float64(sh.walQuarantineA.Load()) })
+			s.reg.GaugeFunc("slicekvsd_shard_restores", "Warm restarts completed per shard", lbl,
+				func() float64 { return float64(sh.restoresA.Load()) })
+		}
 	}
 }
 
@@ -364,9 +417,34 @@ func (s *server) Serve() error {
 			return err
 		}
 	}
+
+	// Recover every shard's durable state before readiness: the sidecar is
+	// already answering /readyz 503 "recovering", so a load balancer never
+	// routes to a half-replayed store. A drain signal racing boot skips
+	// recovery — the daemon is on its way down anyway.
+	if s.cfg.walDir != "" && s.lc.BeginRecovery() == nil {
+		for _, sh := range s.shards {
+			rep, err := sh.recoverState()
+			if err != nil {
+				s.shutdownSockets()
+				return fmt.Errorf("slicekvsd: shard %d recovery: %w", sh.id, err)
+			}
+			s.logf("slicekvsd: shard %d recovered: snapshot(seq %d loaded=%v corrupt=%v) + %d replayed → seq %d (skipped %d, torn %dB, quarantined %dB)",
+				sh.id, rep.SnapshotSeq, rep.SnapshotLoaded, rep.SnapshotCorrupt,
+				rep.Replayed, sh.seq, rep.SkippedOld, rep.TornBytes, rep.Quarantined)
+			if rep.Corrupt != nil {
+				s.logf("slicekvsd: shard %d journal damage: %v", sh.id, rep.Corrupt)
+			}
+		}
+	}
+
 	for _, sh := range s.shards {
 		sh := sh
-		if err := s.sup.Start(sh.id, fmt.Sprintf("shard-%d", sh.id), sh.run); err != nil {
+		var restore daemon.RestoreFunc
+		if s.cfg.walDir != "" {
+			restore = sh.restore
+		}
+		if err := s.sup.StartRestorable(sh.id, fmt.Sprintf("shard-%d", sh.id), sh.run, restore); err != nil {
 			s.shutdownSockets()
 			return err
 		}
@@ -579,7 +657,19 @@ func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class
 	case "set":
 		tr := s.tracer.Begin("set", *class)
 		tr.StageStart(obs.StageParse)
-		return s.cmdSet(fields[1:], br, bw, *class, tr), tr
+		return s.cmdSet(fields[1:], br, bw, *class, tr, false), tr
+	case "setv":
+		// Verbose SET for durability verification: the ack carries the
+		// shard, write seqno and resulting version, so a client-side
+		// ledger can check acked writes against recovered state.
+		tr := s.tracer.Begin("set", *class)
+		tr.StageStart(obs.StageParse)
+		return s.cmdSet(fields[1:], br, bw, *class, tr, true), tr
+	case "getv":
+		tr := s.tracer.Begin("get", *class)
+		tr.StageStart(obs.StageParse)
+		s.cmdGetV(fields[1:], bw, *class, tr)
+		return false, tr
 	case "prio":
 		if len(fields) != 2 {
 			bw.WriteString("CLIENT_ERROR usage: prio <class>\r\n")
@@ -597,7 +687,7 @@ func (s *server) dispatch(line string, br *bufio.Reader, bw *bufio.Writer, class
 	case "stats":
 		s.cmdStats(bw)
 	case "version":
-		bw.WriteString("VERSION slicekvsd-0.7 (sliceaware)\r\n")
+		bw.WriteString("VERSION slicekvsd-0.8 (sliceaware)\r\n")
 	case "quit":
 		return true, nil
 	default:
@@ -649,8 +739,9 @@ func (s *server) cmdGet(keys []string, bw *bufio.Writer, class int, tr *obs.ReqT
 
 // cmdSet parses `set <key> <flags> <exptime> <bytes>` plus the data
 // block. The data block is consumed before any admission decision so the
-// stream stays framed even when the request is refused.
-func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class int, tr *obs.ReqTrace) bool {
+// stream stays framed even when the request is refused. verbose is the
+// setv variant: the ack reports shard, seqno and version.
+func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class int, tr *obs.ReqTrace, verbose bool) bool {
 	if len(args) < 4 {
 		bw.WriteString("CLIENT_ERROR usage: set <key> <flags> <exptime> <bytes>\r\n")
 		return false
@@ -672,8 +763,10 @@ func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class
 
 	rank := s.keyRank(args[0])
 	s.ctrOps["set"].Inc(int(rank % uint64(s.cfg.shards)))
-	_, err = s.serveRequest(class, rank, false, tr)
+	r, err := s.serveRequest(class, rank, false, tr)
 	switch {
+	case err == nil && verbose:
+		fmt.Fprintf(bw, "STORED %d %d %d\r\n", rank%uint64(s.cfg.shards), r.seq, r.ver)
 	case err == nil:
 		bw.WriteString("STORED\r\n")
 	case errors.Is(err, errSilentDrop):
@@ -681,6 +774,27 @@ func (s *server) cmdSet(args []string, br *bufio.Reader, bw *bufio.Writer, class
 		bw.WriteString(protoErr(err) + "\r\n")
 	}
 	return false
+}
+
+// cmdGetV answers `getv <key>` with `VER <key> <shard> <version>` — the
+// read half of the durability-verification protocol. Every rank exists,
+// so there is no miss case; version 0 means never written.
+func (s *server) cmdGetV(args []string, bw *bufio.Writer, class int, tr *obs.ReqTrace) {
+	tr.StageEnd(obs.StageParse)
+	if len(args) != 1 {
+		bw.WriteString("CLIENT_ERROR usage: getv <key>\r\n")
+		return
+	}
+	rank := s.keyRank(args[0])
+	s.ctrOps["get"].Inc(int(rank % uint64(s.cfg.shards)))
+	r, err := s.serveRequest(class, rank, true, tr)
+	switch {
+	case err == nil:
+		fmt.Fprintf(bw, "VER %s %d %d\r\n", args[0], rank%uint64(s.cfg.shards), r.ver)
+	case errors.Is(err, errSilentDrop):
+	default:
+		bw.WriteString(protoErr(err) + "\r\n")
+	}
 }
 
 // keyRank maps a protocol key to a global key rank: "k<n>" keys map
@@ -710,8 +824,10 @@ func valueBytes(rank uint64) []byte {
 
 // serveRequest runs one request through the admission guard and a shard:
 // drain gate → priority shed → degradation ladder → per-shard breaker →
-// bounded inbox → wait for the worker (bounded by requestTimeout).
-func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTrace) (uint64, error) {
+// bounded inbox → wait for the worker (bounded by requestTimeout). On
+// success the returned respMsg carries cycles plus the version/seqno the
+// verbose verbs report.
+func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTrace) (respMsg, error) {
 	sh := s.shards[rank%uint64(len(s.shards))]
 	local := rank / uint64(len(s.shards))
 	tr.SetShard(sh.id)
@@ -721,7 +837,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 	if s.lc.State() != daemon.StateReady {
 		s.admitMu.RUnlock()
 		s.account(tr, class, "draining", 0)
-		return 0, errDraining
+		return respMsg{}, errDraining
 	}
 	s.reqWG.Add(1)
 	s.admitMu.RUnlock()
@@ -737,7 +853,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 	tr.StageEnd(obs.StageShed)
 	if !admit {
 		s.account(tr, class, "shed", 0)
-		return 0, errShed
+		return respMsg{}, errShed
 	}
 
 	// Degradation ladder: level 1 refuses writes below the top class,
@@ -748,7 +864,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 	tr.StageEnd(obs.StageLadder)
 	if (lvl >= 2 && class < top) || (lvl == 1 && !isGet && class < top) {
 		s.account(tr, class, "degraded", 0)
-		return 0, errDegraded
+		return respMsg{}, errDegraded
 	}
 
 	tr.StageStart(obs.StageBreaker)
@@ -756,7 +872,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 	tr.StageEnd(obs.StageBreaker)
 	if err != nil {
 		s.account(tr, class, "breaker", 0)
-		return 0, errBreaker
+		return respMsg{}, errBreaker
 	}
 
 	req := &request{rank: local, isGet: isGet, class: class, enqueued: time.Now(), resp: make(chan respMsg, 1), tr: tr}
@@ -768,7 +884,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 		// teaching the outcome window anything.
 		sh.breaker.Cancel()
 		s.account(tr, class, "inbox_full", 0)
-		return 0, errInbox
+		return respMsg{}, errInbox
 	}
 
 	timer := time.NewTimer(s.cfg.requestTimeout)
@@ -780,23 +896,23 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 		case r.silent:
 			sh.breaker.Record(s.wallNs(), true) // the shard did its job
 			s.account(tr, class, "dropped_silent", 0)
-			return 0, errSilentDrop
+			return respMsg{}, errSilentDrop
 		case errors.Is(r.err, errAQM):
 			sh.breaker.Record(s.wallNs(), true)
 			s.account(tr, class, "aqm", 0)
-			return 0, r.err
+			return respMsg{}, r.err
 		case errors.Is(r.err, errCorrupt):
 			sh.breaker.Record(s.wallNs(), true)
 			s.account(tr, class, "injected", 0)
-			return 0, r.err
+			return respMsg{}, r.err
 		case r.err != nil:
 			sh.breaker.Record(s.wallNs(), false)
 			s.account(tr, class, "error", 0)
-			return 0, r.err
+			return respMsg{}, r.err
 		default:
 			sh.breaker.Record(s.wallNs(), true)
 			s.account(tr, class, "ok", latency)
-			return r.cycles, nil
+			return r, nil
 		}
 	case <-timer.C:
 		// The worker is wedged or dead (crash mid-request loses the
@@ -806,7 +922,7 @@ func (s *server) serveRequest(class int, rank uint64, isGet bool, tr *obs.ReqTra
 		// simply miss the already-finished trace.
 		sh.breaker.Record(s.wallNs(), false)
 		s.account(tr, class, "timeout", 0)
-		return 0, errTimeout
+		return respMsg{}, errTimeout
 	}
 }
 
@@ -935,6 +1051,14 @@ func (s *server) cmdStats(bw *bufio.Writer) {
 		fmt.Fprintf(bw, "STAT shard%d_served %d\r\n", sh.id, sh.served.Load())
 		fmt.Fprintf(bw, "STAT shard%d_inbox %d\r\n", sh.id, len(sh.inbox))
 		fmt.Fprintf(bw, "STAT shard%d_breaker %s\r\n", sh.id, sh.breaker.State())
+		if s.cfg.walDir != "" {
+			fmt.Fprintf(bw, "STAT shard%d_wal_seq %d\r\n", sh.id, sh.seqA.Load())
+			fmt.Fprintf(bw, "STAT shard%d_wal_durable_seq %d\r\n", sh.id, sh.durableSeqA.Load())
+			fmt.Fprintf(bw, "STAT shard%d_wal_recovered_seq %d\r\n", sh.id, sh.recoveredSeqA.Load())
+			fmt.Fprintf(bw, "STAT shard%d_wal_replayed %d\r\n", sh.id, sh.walReplayedA.Load())
+			fmt.Fprintf(bw, "STAT shard%d_wal_quarantined %d\r\n", sh.id, sh.walQuarantineA.Load())
+			fmt.Fprintf(bw, "STAT shard%d_restores %d\r\n", sh.id, sh.restoresA.Load())
+		}
 	}
 	s.shedMu.Lock()
 	offered, shed := s.shed.Stats()
@@ -997,6 +1121,15 @@ func (s *server) Drain() {
 		<-s.statsDone
 		s.sup.Stop()
 
+		// Workers are stopped: journal ownership has passed back to this
+		// goroutine. Flush the tails, snapshot, close — a clean shutdown
+		// leaves a zero-length replay for the next boot.
+		if s.cfg.walDir != "" {
+			for _, sh := range s.shards {
+				sh.closeWAL()
+			}
+		}
+
 		s.lc.SetStopped()
 		if s.cfg.checkpoint != "" {
 			if err := s.writeCheckpoint(s.cfg.checkpoint); err != nil {
@@ -1051,17 +1184,36 @@ func (s *server) writeCheckpoint(path string) error {
 	doc.Ladder.Recoveries = st.Recoveries
 	doc.Workers = s.sup.Snapshot()
 
-	f, err := os.Create(path)
+	// Atomic replace: temp file in the target's directory, fsync, rename.
+	// A crash mid-checkpoint must leave the previous checkpoint (or none),
+	// never a torn JSON document a post-mortem script chokes on.
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmpName := f.Name()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		f.Close()
+		os.Remove(tmpName)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
 // writeTraceFile dumps the retained sampled traces as a chrome://tracing

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -98,6 +99,32 @@ func (c *client) set(key, val string) string {
 		c.t.Fatalf("set body: %v", err)
 	}
 	return c.line()
+}
+
+// setv issues a verbose SET and returns the STORED reply fields.
+func (c *client) setv(key, val string) string {
+	c.t.Helper()
+	c.send(fmt.Sprintf("setv %s 0 0 %d", key, len(val)))
+	if _, err := io.WriteString(c.conn, val+"\r\n"); err != nil {
+		c.t.Fatalf("setv body: %v", err)
+	}
+	return c.line()
+}
+
+// stats fetches the stats verb into a map.
+func (c *client) stats() map[string]string {
+	c.t.Helper()
+	c.send("stats")
+	m := map[string]string{}
+	for {
+		l := c.line()
+		if l == "END" {
+			return m
+		}
+		if f := strings.Fields(l); len(f) == 3 && f[0] == "STAT" {
+			m[f[1]] = f[2]
+		}
+	}
 }
 
 func TestProtocolBasics(t *testing.T) {
@@ -410,6 +437,235 @@ func TestOverloadShedsLowClassFirst(t *testing.T) {
 			t.Fatalf("server did not recover after chaos clear: %v", lines)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// walConfig is testConfig plus journaling into a fresh directory.
+func walConfig(t *testing.T) config {
+	cfg := testConfig()
+	cfg.walDir = t.TempDir()
+	cfg.walFlushEvery = 5 * time.Millisecond
+	cfg.walFlushRecs = 4
+	return cfg
+}
+
+// TestSetvGetvProtocol exercises the durability-verification verbs: setv
+// acks carry monotonically increasing seqnos and versions, getv reads
+// them back.
+func TestSetvGetvProtocol(t *testing.T) {
+	s := startServer(t, walConfig(t))
+	c := dialClient(t, s.Addr())
+
+	// k5 routes to shard 1 (rank 5 % 2 shards).
+	var lastSeq, lastVer int
+	for i := 1; i <= 3; i++ {
+		got := strings.Fields(c.setv("k5", "hello"))
+		if len(got) != 4 || got[0] != "STORED" || got[1] != "1" {
+			t.Fatalf("setv = %v, want STORED 1 <seq> <ver>", got)
+		}
+		seq, ver := atoi(t, got[2]), atoi(t, got[3])
+		if seq <= lastSeq || ver != i {
+			t.Fatalf("setv #%d: seq %d (prev %d), ver %d — want increasing seq and ver %d", i, seq, lastSeq, ver, i)
+		}
+		lastSeq, lastVer = seq, ver
+	}
+	c.send("getv k5")
+	if got := c.line(); got != fmt.Sprintf("VER k5 1 %d", lastVer) {
+		t.Fatalf("getv = %q, want VER k5 1 %d", got, lastVer)
+	}
+	// A never-written key reads version 0.
+	c.send("getv k7")
+	if got := c.line(); got != "VER k7 1 0" {
+		t.Fatalf("getv unwritten = %q, want VER k7 1 0", got)
+	}
+	// Plain set/get still speak the original protocol.
+	if got := c.set("k6", "x"); got != "STORED" {
+		t.Fatalf("set = %q, want plain STORED", got)
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}
+
+// TestRecoveryAcrossRestart writes through one daemon instance, drains
+// it, and boots a second on the same WAL directory: versions and seqnos
+// must survive, and the boot must pass through the recovering state
+// before readiness.
+func TestRecoveryAcrossRestart(t *testing.T) {
+	cfg := walConfig(t)
+	cfg.checkpoint = filepath.Join(t.TempDir(), "checkpoint.json")
+
+	s1 := startServer(t, cfg)
+	c1 := dialClient(t, s1.Addr())
+	for i := 0; i < 3; i++ {
+		if got := c1.setv("k5", "v"); !strings.HasPrefix(got, "STORED 1 ") {
+			t.Fatalf("setv = %q", got)
+		}
+	}
+	if got := c1.setv("k4", "v"); !strings.HasPrefix(got, "STORED 0 ") {
+		t.Fatalf("setv = %q", got)
+	}
+	s1.Drain()
+
+	s2 := startServer(t, cfg)
+	c2 := dialClient(t, s2.Addr())
+	c2.send("getv k5")
+	if got := c2.line(); got != "VER k5 1 3" {
+		t.Fatalf("after restart getv k5 = %q, want VER k5 1 3", got)
+	}
+	c2.send("getv k4")
+	if got := c2.line(); got != "VER k4 0 1" {
+		t.Fatalf("after restart getv k4 = %q, want VER k4 0 1", got)
+	}
+	st := c2.stats()
+	if st["shard1_wal_recovered_seq"] == "0" || st["shard1_wal_recovered_seq"] == "" {
+		t.Fatalf("stats = %v, want shard1_wal_recovered_seq > 0", st)
+	}
+	// Seqnos continue after the recovered point, never reset.
+	rec := atoi(t, st["shard1_wal_recovered_seq"])
+	got := strings.Fields(c2.setv("k5", "w"))
+	if len(got) != 4 || atoi(t, got[2]) != rec+1 {
+		t.Fatalf("post-recovery setv = %v, want seq %d", got, rec+1)
+	}
+	s2.Drain()
+
+	// The second boot's checkpoint shows the recovering stage.
+	b, err := os.ReadFile(cfg.checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc checkpointDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"starting", "recovering", "ready", "draining", "stopped"}
+	if strings.Join(doc.Transitions, ",") != strings.Join(want, ",") {
+		t.Fatalf("transitions = %v, want %v", doc.Transitions, want)
+	}
+}
+
+// TestWarmRestartPreservesVersions crashes a shard worker mid-service:
+// the supervisor's restore hook must rebuild the store from
+// snapshot+journal, preserving every acked write, before the worker
+// comes back up.
+func TestWarmRestartPreservesVersions(t *testing.T) {
+	cfg := walConfig(t)
+	cfg.requestTimeout = 500 * time.Millisecond
+	cfg.breakerCooldown = 100 * time.Millisecond
+	s := startServer(t, cfg)
+	c := dialClient(t, s.Addr())
+
+	// Acked writes on shard 0 (k0, k2) and shard 1 (k5).
+	for i := 0; i < 5; i++ {
+		if got := c.setv("k0", "v"); !strings.HasPrefix(got, "STORED 0 ") {
+			t.Fatalf("setv = %q", got)
+		}
+	}
+	c.setv("k2", "v")
+	c.setv("k5", "v")
+
+	c.send("chaos crash 0")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("chaos crash = %q", got)
+	}
+	if lines := c.get("k0"); !strings.HasPrefix(lines[0], "SERVER_ERROR") {
+		t.Fatalf("crash request = %v, want SERVER_ERROR", lines)
+	}
+
+	// Wait for the warm restart, then verify acked state survived.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c.send("getv k0")
+		got := c.line()
+		if got == "VER k0 0 5" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 never recovered to VER k0 0 5; last %q", got)
+		}
+		if !strings.HasPrefix(got, "SERVER_ERROR") && !strings.HasPrefix(got, "VER") {
+			t.Fatalf("unexpected reply %q", got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.send("getv k2")
+	if got := c.line(); got != "VER k2 0 1" {
+		t.Fatalf("after warm restart getv k2 = %q, want VER k2 0 1", got)
+	}
+	st := c.stats()
+	if st["shard0_restores"] == "0" || st["shard0_restores"] == "" {
+		t.Fatalf("stats = %v, want shard0_restores ≥ 1", st)
+	}
+	if atoi(t, st["shard0_wal_recovered_seq"]) < 6 {
+		t.Fatalf("stats = %v, want shard0_wal_recovered_seq ≥ 6 (all acked writes durable)", st)
+	}
+}
+
+// TestDrainWhileShardDown is the satellite edge case: SIGTERM arrives
+// while a shard worker is down in a long restart backoff. The drain must
+// reach stopped with a coherent checkpoint — not hang waiting for the
+// backoff, and not lose the dead shard's journal tail.
+func TestDrainWhileShardDown(t *testing.T) {
+	cfg := walConfig(t)
+	cfg.requestTimeout = 500 * time.Millisecond
+	cfg.restartBackoff = 30 * time.Second // park the worker in backoff
+	cfg.checkpoint = filepath.Join(t.TempDir(), "checkpoint.json")
+	s := startServer(t, cfg)
+	c := dialClient(t, s.Addr())
+
+	for i := 0; i < 3; i++ {
+		if got := c.setv("k0", "v"); !strings.HasPrefix(got, "STORED 0 ") {
+			t.Fatalf("setv = %q", got)
+		}
+	}
+	c.send("chaos crash 0")
+	if got := c.line(); got != "OK" {
+		t.Fatalf("chaos crash = %q", got)
+	}
+	if lines := c.get("k0"); !strings.HasPrefix(lines[0], "SERVER_ERROR") {
+		t.Fatalf("crash request = %v, want SERVER_ERROR", lines)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.shardsDown.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shard 0 never observed down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain hung while a shard was down in backoff")
+	}
+
+	b, err := os.ReadFile(cfg.checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc checkpointDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Transitions[len(doc.Transitions)-1] != "stopped" {
+		t.Fatalf("transitions = %v, want final stopped", doc.Transitions)
+	}
+	// The dead shard's acked writes were finalized at drain: durable seq
+	// caught up to the assigned seq despite the worker being down.
+	for _, sc := range doc.Shards {
+		if sc.ID == 0 {
+			if sc.WalSeq < 3 || sc.WalDurableSeq != sc.WalSeq {
+				t.Fatalf("shard 0 checkpoint %+v: want durable seq == seq ≥ 3", sc)
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"sliceaware/internal/kvs"
 	"sliceaware/internal/obs"
 	"sliceaware/internal/overload"
+	"sliceaware/internal/wal"
 	"sliceaware/internal/zipf"
 )
 
@@ -42,9 +44,13 @@ type request struct {
 	tr       *obs.ReqTrace // nil unless the tracer sampled this request
 }
 
-// respMsg is the worker's answer.
+// respMsg is the worker's answer. ver/seq carry the key's version and the
+// shard's write seqno for the verbose (setv/getv) protocol verbs; seq is
+// zero when journaling is disabled.
 type respMsg struct {
 	cycles uint64
+	ver    uint64
+	seq    uint64
 	err    error
 	silent bool // injected NIC drop: reply with nothing at all
 }
@@ -59,6 +65,7 @@ type shard struct {
 	id    int
 	core  int
 	keys  uint64 // store keyspace size
+	cfg   config // kept for rebuilding the store on warm restart
 	store *kvs.Store
 	inbox chan *request
 
@@ -73,6 +80,34 @@ type shard struct {
 	served   atomic.Uint64
 	aqmDrops atomic.Uint64
 
+	// Durability. vers is the per-key version table (always maintained —
+	// one increment per SET); jr is the write journal, nil when -wal-dir is
+	// unset, and then the SET path pays exactly one nil check (the wal
+	// nil-is-free contract). vers/jr/seq/setsSinceSnap are worker-owned:
+	// the worker loop, the restore hook, and drain-time closeWAL all run
+	// sequenced on or after the supervision goroutine. The atomics below
+	// mirror journal state for stats/metrics read from other goroutines.
+	vers          []uint64
+	jr            *wal.Journal
+	seq           uint64
+	setsSinceSnap int
+	flushEvery    time.Duration
+	flushRecs     int
+	snapEvery     int
+
+	seqA           atomic.Uint64 // last assigned seqno
+	durableSeqA    atomic.Uint64 // last fsynced seqno
+	recoveredSeqA  atomic.Uint64 // seqno recovery rebuilt through (this boot/restart)
+	pendingA       atomic.Int64  // records appended but not yet flushed
+	firstPendingNs atomic.Int64  // unix ns of the oldest unflushed append (0 = none)
+	walFlushesA    atomic.Uint64
+	walSnapsA      atomic.Uint64
+	walReplayedA   atomic.Uint64
+	walQuarantineA atomic.Uint64
+	restoresA      atomic.Uint64
+
+	logf func(format string, args ...any)
+
 	// sojournBits holds the float64 bits of an EWMA of queue wait (ns).
 	// The worker is the writer on every dequeue; the pressure ticker
 	// decays it while the queue is idle; admission reads it. Occupancy
@@ -85,11 +120,13 @@ type shard struct {
 	freq  float64   // simulated core frequency, for slowdown sleeps
 }
 
-// newShard builds one shard over keysPerShard keys.
-func newShard(id int, cfg config, start time.Time) (*shard, error) {
+// buildStore constructs a shard's simulated machine and store — shared by
+// first boot and by warm restarts, which rebuild the store from scratch
+// before replaying the journal into it.
+func buildStore(id int, cfg config) (*kvs.Store, int, float64, error) {
 	m, err := cpusim.NewMachine(arch.HaswellE52667v3())
 	if err != nil {
-		return nil, fmt.Errorf("shard %d: %w", id, err)
+		return nil, 0, 0, fmt.Errorf("shard %d: %w", id, err)
 	}
 	core := id % m.Cores()
 	store, err := kvs.New(m, kvs.Config{
@@ -98,7 +135,16 @@ func newShard(id int, cfg config, start time.Time) (*shard, error) {
 		SliceAware:  cfg.sliceAware,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("shard %d: %w", id, err)
+		return nil, 0, 0, fmt.Errorf("shard %d: %w", id, err)
+	}
+	return store, core, m.Profile.FrequencyHz, nil
+}
+
+// newShard builds one shard over keysPerShard keys.
+func newShard(id int, cfg config, start time.Time) (*shard, error) {
+	store, core, freq, err := buildStore(id, cfg)
+	if err != nil {
+		return nil, err
 	}
 	breaker, err := overload.NewSyncBreaker(overload.BreakerConfig{
 		Window:         32,
@@ -109,14 +155,20 @@ func newShard(id int, cfg config, start time.Time) (*shard, error) {
 		return nil, err
 	}
 	sh := &shard{
-		id:      id,
-		core:    core,
-		keys:    cfg.keysPerShard(),
-		store:   store,
-		inbox:   make(chan *request, cfg.inbox),
-		breaker: breaker,
-		start:   start,
-		freq:    m.Profile.FrequencyHz,
+		id:         id,
+		core:       core,
+		keys:       cfg.keysPerShard(),
+		cfg:        cfg,
+		store:      store,
+		inbox:      make(chan *request, cfg.inbox),
+		breaker:    breaker,
+		start:      start,
+		freq:       freq,
+		vers:       make([]uint64, cfg.keysPerShard()),
+		flushEvery: cfg.walFlushEvery,
+		flushRecs:  cfg.walFlushRecs,
+		snapEvery:  cfg.walSnapEvery,
+		logf:       log.Printf,
 	}
 	switch cfg.aqm {
 	case "codel":
@@ -174,18 +226,176 @@ func (sh *shard) getInjector() *faults.Injector {
 }
 
 // run is the supervised worker loop: one goroutine, pinned to an OS
-// thread the way a DPDK lcore is pinned to a physical core.
+// thread the way a DPDK lcore is pinned to a physical core. When the
+// shard journals, the loop also owns the group-commit clock: a flush
+// ticker bounds how long an acked SET can sit in the unflushed tail.
 func (sh *shard) run(stop <-chan struct{}) error {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
+	var flushC <-chan time.Time
+	if sh.jr != nil && sh.flushEvery > 0 {
+		t := time.NewTicker(sh.flushEvery)
+		defer t.Stop()
+		flushC = t.C
+	}
 	for {
 		select {
 		case <-stop:
+			sh.flushWAL()
 			return nil
+		case <-flushC:
+			sh.flushWAL()
 		case req := <-sh.inbox:
 			sh.serve(req)
 		}
 	}
+}
+
+// flushWAL is the group commit: write + fsync every buffered record.
+// Worker-goroutine only (or sequenced after it: restore/drain).
+func (sh *shard) flushWAL() {
+	if sh.jr == nil || sh.jr.Pending() == 0 {
+		return
+	}
+	if err := sh.jr.Flush(); err != nil {
+		sh.logf("slicekvsd: shard %d wal flush: %v", sh.id, err)
+		return
+	}
+	sh.walFlushesA.Add(1)
+	sh.durableSeqA.Store(sh.jr.DurableSeq())
+	sh.pendingA.Store(0)
+	sh.firstPendingNs.Store(0)
+}
+
+// snapshotWAL writes an atomic full-state snapshot and truncates the
+// journal. The snapshot covers every append so far (flushed or not), so
+// pending records need no flush first — they become redundant.
+func (sh *shard) snapshotWAL() {
+	if sh.jr == nil {
+		return
+	}
+	gets, sets := sh.store.Counts()
+	snap := &wal.Snapshot{
+		Shard: sh.id, LastSeq: sh.seq,
+		Gets: gets, Sets: sets, Served: sh.served.Load(),
+		Versions: sh.vers,
+	}
+	if err := wal.WriteSnapshot(sh.cfg.walDir, snap); err != nil {
+		sh.logf("slicekvsd: shard %d wal snapshot: %v", sh.id, err)
+		return
+	}
+	if err := sh.jr.Reset(); err != nil {
+		sh.logf("slicekvsd: shard %d wal reset: %v", sh.id, err)
+	}
+	// The snapshot made the whole journal — pending tail included —
+	// durable; drop the buffer rather than rewriting dead records.
+	sh.jr.DropPending()
+	sh.walSnapsA.Add(1)
+	sh.setsSinceSnap = 0
+	sh.durableSeqA.Store(sh.seq)
+	sh.pendingA.Store(0)
+	sh.firstPendingNs.Store(0)
+}
+
+// journalSet appends one acked SET to the journal, group-committing at
+// the record threshold and snapshotting at the snapshot period. Returns
+// the append error; the caller must fail the request on it (an un-
+// journaled write must not be acked as durable).
+func (sh *shard) journalSet(rank, ver uint64) error {
+	sh.seq++
+	if err := sh.jr.Append(wal.Record{Seq: sh.seq, Key: rank, Ver: ver, Op: wal.OpSet}); err != nil {
+		sh.seq--
+		return err
+	}
+	sh.seqA.Store(sh.seq)
+	if sh.pendingA.Add(1) == 1 {
+		sh.firstPendingNs.Store(time.Now().UnixNano())
+	}
+	sh.setsSinceSnap++
+	if sh.snapEvery > 0 && sh.setsSinceSnap >= sh.snapEvery {
+		sh.snapshotWAL()
+	} else if sh.flushRecs > 0 && sh.jr.Pending() >= sh.flushRecs {
+		sh.flushWAL()
+	}
+	return nil
+}
+
+// recoverState rebuilds the shard's durable state from snapshot+journal
+// into its (fresh) store, then reopens the journal for appending. It
+// runs at boot (before workers start) and inside the warm-restart hook —
+// both sequenced against the worker loop.
+func (sh *shard) recoverState() (wal.Report, error) {
+	st, rep, err := wal.Recover(sh.cfg.walDir, sh.id, sh.keys, func(r wal.Record) {
+		// Rewarm the rebuilt store with the replayed write; the version
+		// table is restored exactly below, this is cache warmth only.
+		sh.store.ServeOne(r.Key, false)
+	})
+	if err != nil {
+		return rep, err
+	}
+	copy(sh.vers, st.Versions)
+	sh.seq = st.LastSeq
+	sh.store.RestoreCounts(st.Gets, st.Sets)
+	jr, err := wal.OpenJournal(sh.cfg.walDir, sh.id, st.LastSeq)
+	if err != nil {
+		return rep, err
+	}
+	sh.jr = jr
+	sh.setsSinceSnap = 0
+	sh.seqA.Store(st.LastSeq)
+	sh.durableSeqA.Store(st.LastSeq)
+	sh.recoveredSeqA.Store(st.LastSeq)
+	sh.pendingA.Store(0)
+	sh.firstPendingNs.Store(0)
+	sh.walReplayedA.Add(uint64(rep.Replayed))
+	sh.walQuarantineA.Add(uint64(rep.Quarantined))
+	return rep, nil
+}
+
+// restore is the supervisor's warm-restart hook: flush whatever acked
+// tail survived in memory, rebuild the store from scratch, and replay
+// snapshot+journal into it. Runs on the supervision goroutine while the
+// worker is down (ladder floor pinned), before the worker restarts.
+func (sh *shard) restore() error {
+	sh.restoresA.Add(1)
+	if sh.jr != nil {
+		// The process survived the crash, so the unflushed tail is still
+		// in memory — make it durable rather than losing it.
+		if err := sh.jr.Close(); err != nil {
+			sh.logf("slicekvsd: shard %d wal close before restore: %v", sh.id, err)
+		}
+		sh.jr = nil
+	}
+	store, core, freq, err := buildStore(sh.id, sh.cfg)
+	if err != nil {
+		return err
+	}
+	sh.store, sh.core, sh.freq = store, core, freq
+	if err := sh.warm(sh.cfg.warmup); err != nil {
+		return err
+	}
+	rep, err := sh.recoverState()
+	if err != nil {
+		return err
+	}
+	sh.logf("slicekvsd: shard %d warm restart: snapshot(seq %d loaded=%v) + %d replayed, seq %d (torn %dB, quarantined %dB)",
+		sh.id, rep.SnapshotSeq, rep.SnapshotLoaded, rep.Replayed, sh.seq, rep.TornBytes, rep.Quarantined)
+	return nil
+}
+
+// closeWAL is the drain-time finalization: flush the tail, snapshot, and
+// close. Called after the supervisor stopped, so single ownership has
+// passed to the draining goroutine.
+func (sh *shard) closeWAL() {
+	if sh.jr == nil {
+		return
+	}
+	sh.flushWAL()
+	sh.snapshotWAL()
+	if err := sh.jr.Close(); err != nil {
+		sh.logf("slicekvsd: shard %d wal close: %v", sh.id, err)
+	}
+	sh.jr = nil
 }
 
 // sojournEwma reads the smoothed queue-wait estimate in nanoseconds.
@@ -249,6 +459,23 @@ func (sh *shard) serve(req *request) {
 		req.resp <- respMsg{err: err}
 		return
 	}
+	var ver uint64
+	if req.isGet {
+		ver = sh.vers[req.rank]
+	} else {
+		sh.vers[req.rank]++
+		ver = sh.vers[req.rank]
+		if sh.jr != nil {
+			if jerr := sh.journalSet(req.rank, ver); jerr != nil {
+				// The store applied the write but it cannot be made durable:
+				// refuse the ack. The client must not count it as committed.
+				sh.logf("slicekvsd: shard %d wal append: %v", sh.id, jerr)
+				req.tr.StageEnd(obs.StageShardService)
+				req.resp <- respMsg{err: fmt.Errorf("journal write failed (retryable)")}
+				return
+			}
+		}
+	}
 	if scale > 1 {
 		// A slowed core takes real wall time: stretch this request by the
 		// simulated service time times (scale-1).
@@ -257,7 +484,7 @@ func (sh *shard) serve(req *request) {
 	}
 	sh.served.Add(1)
 	req.tr.StageEnd(obs.StageShardService)
-	req.resp <- respMsg{cycles: cycles}
+	req.resp <- respMsg{cycles: cycles, ver: ver, seq: sh.seq}
 }
 
 // shardCheckpoint is one shard's slice of the drain checkpoint.
@@ -270,6 +497,14 @@ type shardCheckpoint struct {
 	AQMDrops     uint64 `json:"aqm_drops"`
 	Restarts     uint64 `json:"restarts"`
 	BreakerState string `json:"breaker_state"`
+
+	// Durability fields, zero when journaling is disabled.
+	WalSeq         uint64 `json:"wal_seq,omitempty"`
+	WalDurableSeq  uint64 `json:"wal_durable_seq,omitempty"`
+	WalRecovered   uint64 `json:"wal_recovered_seq,omitempty"`
+	WalReplayed    uint64 `json:"wal_replayed,omitempty"`
+	WalQuarantined uint64 `json:"wal_quarantined_bytes,omitempty"`
+	WalRestores    uint64 `json:"wal_restores,omitempty"`
 }
 
 func (sh *shard) checkpoint(restarts uint64) shardCheckpoint {
@@ -283,5 +518,12 @@ func (sh *shard) checkpoint(restarts uint64) shardCheckpoint {
 		AQMDrops:     sh.aqmDrops.Load(),
 		Restarts:     restarts,
 		BreakerState: sh.breaker.State().String(),
+
+		WalSeq:         sh.seqA.Load(),
+		WalDurableSeq:  sh.durableSeqA.Load(),
+		WalRecovered:   sh.recoveredSeqA.Load(),
+		WalReplayed:    sh.walReplayedA.Load(),
+		WalQuarantined: sh.walQuarantineA.Load(),
+		WalRestores:    sh.restoresA.Load(),
 	}
 }

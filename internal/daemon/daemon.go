@@ -11,8 +11,14 @@
 // safe for concurrent use — that is its entire reason to exist. The state
 // machine is deliberately small:
 //
-//	Starting ──SetReady──▶ Ready ──BeginDrain──▶ Draining ──SetStopped──▶ Stopped
-//	    └────────────────BeginDrain──────────────────▲
+//	Starting ──BeginRecovery──▶ Recovering ──SetReady──▶ Ready ──BeginDrain──▶ Draining ──SetStopped──▶ Stopped
+//	    │            └──────────────BeginDrain───────────────────────▲                                     │
+//	    └───────────────SetReady (no durable state)──────▶ Ready     └─────────────────────────────────────┘
+//
+// Recovering is the durability window between boot and readiness: shards
+// are replaying their journals, so /readyz must stay red — a load
+// balancer routing to a half-replayed store would serve stale state.
+// Daemons without durable state skip it (Starting → Ready directly).
 //
 // Draining means: stop taking new work, finish what is in flight, then
 // stop. There are no backward edges — a draining daemon never becomes
@@ -39,6 +45,12 @@ const (
 	StateDraining
 	// StateStopped is terminal: all workers stopped, checkpoint written.
 	StateStopped
+	// StateRecovering is the boot-time durability window: shards are
+	// restoring snapshots and replaying journals; /readyz stays red until
+	// every shard's replay completes. (Numbered after StateStopped so the
+	// wire values of the original four states stay stable for dashboards
+	// and the checkpoint format.)
+	StateRecovering
 )
 
 // String implements fmt.Stringer; these exact strings are the /healthz
@@ -53,6 +65,8 @@ func (s State) String() string {
 		return "draining"
 	case StateStopped:
 		return "stopped"
+	case StateRecovering:
+		return "recovering"
 	}
 	return fmt.Sprintf("State(%d)", int32(s))
 }
@@ -100,20 +114,33 @@ func (l *Lifecycle) advance(from, to State) bool {
 	return true
 }
 
-// SetReady moves Starting→Ready. It fails if the daemon already left
+// BeginRecovery moves Starting→Recovering: the daemon has durable state
+// to restore before it may serve. It fails if the daemon already left
 // Starting (e.g. a drain raced the boot).
+func (l *Lifecycle) BeginRecovery() error {
+	if !l.advance(StateStarting, StateRecovering) {
+		return fmt.Errorf("daemon: cannot begin recovery from %s", l.State())
+	}
+	return nil
+}
+
+// SetReady moves Recovering→Ready (after replay completes) or
+// Starting→Ready (no durable state to recover). It fails if the daemon
+// already left both (e.g. a drain raced the boot).
 func (l *Lifecycle) SetReady() error {
-	if !l.advance(StateStarting, StateReady) {
+	if !l.advance(StateRecovering, StateReady) && !l.advance(StateStarting, StateReady) {
 		return fmt.Errorf("daemon: cannot become ready from %s", l.State())
 	}
 	return nil
 }
 
-// BeginDrain moves Ready→Draining (or Starting→Draining, for a signal
-// during boot) and closes the Draining channel. Idempotent: repeated calls
-// report false without error.
+// BeginDrain moves Ready→Draining (or Starting/Recovering→Draining, for
+// a signal during boot) and closes the Draining channel. Idempotent:
+// repeated calls report false without error.
 func (l *Lifecycle) BeginDrain() bool {
-	if l.advance(StateReady, StateDraining) || l.advance(StateStarting, StateDraining) {
+	if l.advance(StateReady, StateDraining) ||
+		l.advance(StateStarting, StateDraining) ||
+		l.advance(StateRecovering, StateDraining) {
 		close(l.drainCh)
 		return true
 	}

@@ -51,6 +51,67 @@ func TestLifecycleHappyPath(t *testing.T) {
 	}
 }
 
+func TestLifecycleRecoveryPath(t *testing.T) {
+	lc := NewLifecycle()
+	if err := lc.BeginRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.State() != StateRecovering {
+		t.Fatalf("state = %v, want recovering", lc.State())
+	}
+	if err := lc.BeginRecovery(); err == nil {
+		t.Fatal("second BeginRecovery must fail")
+	}
+	if err := lc.SetReady(); err != nil {
+		t.Fatal(err)
+	}
+	want := []State{StateStarting, StateRecovering, StateReady}
+	got := lc.Transitions()
+	if len(got) != len(want) {
+		t.Fatalf("transitions %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLifecycleDrainDuringRecovery(t *testing.T) {
+	lc := NewLifecycle()
+	if err := lc.BeginRecovery(); err != nil {
+		t.Fatal(err)
+	}
+	if !lc.BeginDrain() {
+		t.Fatal("BeginDrain from recovering must be legal (signal during replay)")
+	}
+	if err := lc.SetReady(); err == nil {
+		t.Fatal("SetReady after drain began must fail")
+	}
+	if err := lc.SetStopped(); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewLifecycle().SetReady(); err != nil {
+		t.Fatal("Starting→Ready without recovery must stay legal:", err)
+	}
+}
+
+func TestRecoveringStateWireValueIsStable(t *testing.T) {
+	// Dashboards and checkpoints store State as an integer; the original
+	// four values must never move even as states are added.
+	for want, s := range []State{StateStarting, StateReady, StateDraining, StateStopped} {
+		if int(s) != want {
+			t.Fatalf("state %v = %d, want %d", s, int(s), want)
+		}
+	}
+	if int(StateRecovering) != 4 {
+		t.Fatalf("StateRecovering = %d, want 4", int(StateRecovering))
+	}
+	if StateRecovering.String() != "recovering" {
+		t.Fatalf("StateRecovering.String() = %q", StateRecovering)
+	}
+}
+
 func TestLifecycleInvalidEdges(t *testing.T) {
 	lc := NewLifecycle()
 	if err := lc.SetStopped(); err == nil {

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -11,6 +12,14 @@ import (
 // Panics are recovered by the supervisor and treated as failures — the
 // crash-only path the chaos plan exercises.
 type WorkerFunc func(stop <-chan struct{}) error
+
+// RestoreFunc rebuilds a crashed worker's state before it restarts —
+// the warm-restart hook. It runs on the supervision goroutine after the
+// backoff sleep and before the worker is marked up, so the worker stays
+// observably down (and the ladder floor pinned) for the whole replay. A
+// failing or panicking restore counts as another consecutive failure:
+// the worker stays down and backs off again.
+type RestoreFunc func() error
 
 // SupervisorConfig tunes restart behaviour. Zero values take the
 // documented defaults.
@@ -25,6 +34,16 @@ type SupervisorConfig struct {
 	// MaxRestarts gives up on a worker after this many consecutive
 	// failures, leaving it down for good (0 = never give up).
 	MaxRestarts int
+	// BackoffJitter adds up to this fraction of the computed backoff as
+	// seeded random extra sleep (0 = none). When one fault fells many
+	// workers at once, jitter spreads their restarts out instead of
+	// letting them replay and rewarm in lockstep — the restart-storm
+	// equivalent of a thundering herd.
+	BackoffJitter float64
+	// JitterSeed seeds the jitter RNG (default 1) so tests are
+	// reproducible. All workers share one stream, which is what spreads
+	// concurrent restarts apart.
+	JitterSeed int64
 	// OnStateChange, if set, fires on every worker transition: up=false
 	// when a worker crashes (with its error), up=true when it restarts.
 	// Called from the supervision goroutine; keep it fast and do not call
@@ -57,6 +76,7 @@ type Supervisor struct {
 	wg   sync.WaitGroup
 
 	mu      sync.Mutex
+	rng     *rand.Rand // jitter source, guarded by mu
 	workers map[int]*workerState
 	stopped bool
 }
@@ -80,9 +100,13 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 	if cfg.ResetAfter == 0 {
 		cfg.ResetAfter = 5 * time.Second
 	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
 	s := &Supervisor{
 		cfg:     cfg,
 		stop:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(cfg.JitterSeed)),
 		workers: make(map[int]*workerState),
 	}
 	if s.cfg.Sleep == nil {
@@ -101,6 +125,13 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 // Start supervises w under the given id/name. Calling Start after Stop is
 // an error.
 func (s *Supervisor) Start(id int, name string, w WorkerFunc) error {
+	return s.StartRestorable(id, name, w, nil)
+}
+
+// StartRestorable supervises w with a warm-restart hook: after every
+// crash (and the backoff), restore runs before the worker is marked up
+// again. restore may be nil, which is plain Start.
+func (s *Supervisor) StartRestorable(id int, name string, w WorkerFunc, restore RestoreFunc) error {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
@@ -115,12 +146,12 @@ func (s *Supervisor) Start(id int, name string, w WorkerFunc) error {
 	s.mu.Unlock()
 
 	s.wg.Add(1)
-	go s.supervise(id, st, w)
+	go s.supervise(id, st, w, restore)
 	return nil
 }
 
 // supervise is the per-worker restart loop.
-func (s *Supervisor) supervise(id int, st *workerState, w WorkerFunc) {
+func (s *Supervisor) supervise(id int, st *workerState, w WorkerFunc, restore RestoreFunc) {
 	defer s.wg.Done()
 	consecutive := 0
 	for {
@@ -149,18 +180,31 @@ func (s *Supervisor) supervise(id int, st *workerState, w WorkerFunc) {
 			return
 		}
 
-		backoff := s.cfg.BackoffBase
-		for i := 1; i < consecutive && backoff < s.cfg.BackoffMax; i++ {
-			backoff *= 2
-		}
-		if backoff > s.cfg.BackoffMax {
-			backoff = s.cfg.BackoffMax
-		}
-		s.cfg.Sleep(backoff)
-		select {
-		case <-s.stop:
-			return
-		default:
+		// Back off, then run the restore hook. The worker stays down
+		// throughout — a failing restore is one more consecutive failure
+		// and another backoff round, not a second down transition.
+		restored := false
+		for !restored {
+			s.cfg.Sleep(s.backoff(consecutive))
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if restore == nil {
+				break
+			}
+			rerr := runRestore(restore)
+			if rerr == nil {
+				restored = true
+				break
+			}
+			consecutive++
+			s.setDown(st, fmt.Errorf("daemon: worker restore failed: %w", rerr), false)
+			if s.cfg.MaxRestarts > 0 && consecutive > s.cfg.MaxRestarts {
+				s.setDown(st, rerr, true)
+				return
+			}
 		}
 
 		s.mu.Lock()
@@ -172,6 +216,35 @@ func (s *Supervisor) supervise(id int, st *workerState, w WorkerFunc) {
 			s.cfg.OnStateChange(id, true, restarts, nil)
 		}
 	}
+}
+
+// backoff computes the exponential-with-jitter delay for the Nth
+// consecutive failure.
+func (s *Supervisor) backoff(consecutive int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < consecutive && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	if s.cfg.BackoffJitter > 0 {
+		s.mu.Lock()
+		u := s.rng.Float64()
+		s.mu.Unlock()
+		d += time.Duration(s.cfg.BackoffJitter * u * float64(d))
+	}
+	return d
+}
+
+// runRestore invokes the restore hook with panic recovery.
+func runRestore(restore RestoreFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("daemon: restore panic: %v", r)
+		}
+	}()
+	return restore()
 }
 
 // setDown marks a worker down and returns its lifetime restart count.

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,6 +129,208 @@ func TestSupervisorCleanStop(t *testing.T) {
 	}
 	if err := sup.Start(1, "late", func(stop <-chan struct{}) error { return nil }); err == nil {
 		t.Fatal("Start after Stop must fail")
+	}
+}
+
+func TestSupervisorRestoreRunsBeforeUp(t *testing.T) {
+	var runs, restores atomic.Int64
+	var order struct {
+		sync.Mutex
+		events []string
+	}
+	note := func(ev string) {
+		order.Lock()
+		order.events = append(order.events, ev)
+		order.Unlock()
+	}
+	sup := NewSupervisor(SupervisorConfig{
+		Sleep: func(time.Duration) {},
+		OnStateChange: func(id int, up bool, restarts int, err error) {
+			if up {
+				note("up")
+			} else {
+				note("down")
+			}
+		},
+	})
+	err := sup.StartRestorable(0, "shard-0", func(stop <-chan struct{}) error {
+		if runs.Add(1) == 1 {
+			panic("chaos")
+		}
+		<-stop
+		return nil
+	}, func() error {
+		restores.Add(1)
+		note("restore")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return runs.Load() >= 2 }, "worker not restarted")
+	waitFor(t, 2*time.Second, func() bool { return sup.Down() == 0 }, "worker not marked up")
+	sup.Stop()
+	if restores.Load() != 1 {
+		t.Fatalf("restore ran %d times, want 1", restores.Load())
+	}
+	order.Lock()
+	defer order.Unlock()
+	want := []string{"down", "restore", "up"}
+	if len(order.events) != len(want) {
+		t.Fatalf("events %v, want %v", order.events, want)
+	}
+	for i, w := range want {
+		if order.events[i] != w {
+			t.Fatalf("events %v, want %v: restore must run while the worker is down", order.events, want)
+		}
+	}
+}
+
+func TestSupervisorFailingRestoreBacksOffWithoutExtraDownEvents(t *testing.T) {
+	var restores atomic.Int64
+	var downs, ups atomic.Int64
+	var crashed atomic.Bool
+	sup := NewSupervisor(SupervisorConfig{
+		Sleep: func(time.Duration) {},
+		OnStateChange: func(id int, up bool, restarts int, err error) {
+			if up {
+				ups.Add(1)
+			} else {
+				downs.Add(1)
+			}
+		},
+	})
+	err := sup.StartRestorable(0, "shard-0", func(stop <-chan struct{}) error {
+		if crashed.CompareAndSwap(false, true) {
+			panic("chaos")
+		}
+		<-stop
+		return nil
+	}, func() error {
+		if restores.Add(1) < 3 {
+			return errors.New("snapshot unreadable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return ups.Load() == 1 && sup.Down() == 0 }, "worker never recovered")
+	sup.Stop()
+	if restores.Load() != 3 {
+		t.Fatalf("restore ran %d times, want 3", restores.Load())
+	}
+	// One crash, one recovery: failing restores must not be reported as
+	// extra down transitions or shardsDown accounting double-counts.
+	if downs.Load() != 1 || ups.Load() != 1 {
+		t.Fatalf("transitions: %d downs / %d ups, want 1/1", downs.Load(), ups.Load())
+	}
+	st := sup.Snapshot()
+	if len(st) != 1 || st[0].GaveUp {
+		t.Fatalf("snapshot %+v: want recovered worker", st)
+	}
+}
+
+func TestSupervisorRestoreFailuresCountTowardMaxRestarts(t *testing.T) {
+	var restores atomic.Int64
+	sup := NewSupervisor(SupervisorConfig{
+		MaxRestarts: 3,
+		Sleep:       func(time.Duration) {},
+	})
+	err := sup.StartRestorable(0, "shard-0", func(stop <-chan struct{}) error {
+		panic("chaos")
+	}, func() error {
+		restores.Add(1)
+		return errors.New("snapshot unreadable")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		st := sup.Snapshot()
+		return len(st) == 1 && st[0].GaveUp
+	}, "supervisor never gave up on a worker whose restore keeps failing")
+	sup.Stop()
+	// Crash consumes failure 1; restores consume 2 and 3; the next would
+	// be failure 4 > MaxRestarts, so exactly 3 restore attempts run... the
+	// third one fails and trips the budget.
+	if got := restores.Load(); got != 3 {
+		t.Fatalf("restore ran %d times, want 3", got)
+	}
+	if st := sup.Snapshot(); !strings.Contains(st[0].LastErr, "snapshot unreadable") {
+		t.Fatalf("LastErr = %q, want the restore error", st[0].LastErr)
+	}
+}
+
+func TestSupervisorBackoffJitterIsSeededAndBounded(t *testing.T) {
+	collect := func(seed int64) []time.Duration {
+		var runs atomic.Int64
+		var sleeps struct {
+			sync.Mutex
+			ds []time.Duration
+		}
+		sup := NewSupervisor(SupervisorConfig{
+			BackoffBase:   time.Millisecond,
+			BackoffMax:    8 * time.Millisecond,
+			BackoffJitter: 0.5,
+			JitterSeed:    seed,
+			Sleep: func(d time.Duration) {
+				sleeps.Lock()
+				sleeps.ds = append(sleeps.ds, d)
+				sleeps.Unlock()
+			},
+		})
+		if err := sup.Start(0, "w", func(stop <-chan struct{}) error {
+			if runs.Add(1) <= 5 {
+				panic("chaos")
+			}
+			<-stop
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 2*time.Second, func() bool { return runs.Load() >= 6 }, "worker not restarted")
+		sup.Stop()
+		sleeps.Lock()
+		defer sleeps.Unlock()
+		return append([]time.Duration(nil), sleeps.ds...)
+	}
+
+	a := collect(42)
+	base := []time.Duration{1, 2, 4, 8, 8} // milliseconds, pre-jitter
+	if len(a) != len(base) {
+		t.Fatalf("sleeps %v, want %d entries", a, len(base))
+	}
+	jittered := false
+	for i, b := range base {
+		lo, hi := b*time.Millisecond, b*time.Millisecond*3/2
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("sleep[%d] = %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+		if a[i] != lo {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatal("jitter never moved any sleep off the base backoff")
+	}
+	// Same seed → same schedule; different seed → different schedule.
+	b := collect(42)
+	c := collect(43)
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatalf("same seed gave different schedules: %v vs %v", a, b)
+	}
+	if !diff {
+		t.Fatalf("different seeds gave identical schedules: %v", a)
 	}
 }
 

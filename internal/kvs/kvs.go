@@ -406,6 +406,12 @@ func (s *Store) ServeOne(key uint64, isGet bool) (uint64, error) {
 // the daemon's drain checkpoint records them per shard.
 func (s *Store) Counts() (gets, sets uint64) { return s.gets, s.sets }
 
+// RestoreCounts seeds the lifetime GET/SET totals from a recovered
+// snapshot, so counters survive a warm restart instead of resetting to
+// zero. Single-threaded like every other store access; the daemon calls
+// it during recovery, before the worker starts serving.
+func (s *Store) RestoreCounts(gets, sets uint64) { s.gets, s.sets = gets, sets }
+
 // PreferredSlice reports the slice hot data is homed to (slice-aware mode).
 func (s *Store) PreferredSlice() int {
 	return interconnect.Preferences(s.machine.Topo)[s.cfg.ServingCore].Primary

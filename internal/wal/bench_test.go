@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJournalAppend measures the in-memory append path — the cost a
+// SET pays on the shard worker before any group commit. This is the
+// number the flush-window contract hangs off: appends must be cheap
+// enough that journaling never throttles the hot path between flushes.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := OpenJournal(b.TempDir(), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(Record{Seq: uint64(i + 1), Key: uint64(i) & 1023, Ver: uint64(i), Op: OpSet}); err != nil {
+			b.Fatal(err)
+		}
+		// Keep the buffer from growing unboundedly; the drop is free.
+		if j.Pending() == 4096 {
+			j.buf = j.buf[:0]
+			j.pending = 0
+		}
+	}
+}
+
+// BenchmarkJournalGroupCommit measures a full 64-record group commit:
+// encode + write + fsync, amortized per record. This is the durability
+// cost per acked SET at the default flush threshold.
+func BenchmarkJournalGroupCommit(b *testing.B) {
+	j, err := OpenJournal(b.TempDir(), 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	const batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint64(0)
+	for i := 0; i < b.N; i++ {
+		seq++
+		if err := j.Append(Record{Seq: seq, Key: seq & 1023, Ver: seq, Op: OpSet}); err != nil {
+			b.Fatal(err)
+		}
+		if j.Pending() == batch {
+			if err := j.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRecoverReplay measures journal replay per record — the
+// recovery-time cost that bounds how long a warm restart pins the
+// degradation ladder.
+func BenchmarkRecoverReplay(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			const keys = 4096
+			dir := b.TempDir()
+			j, err := OpenJournal(dir, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vers := make([]uint64, keys)
+			for i := 0; i < n; i++ {
+				k := uint64(i*31) % keys
+				vers[k]++
+				if err := j.Append(Record{Seq: uint64(i + 1), Key: k, Ver: vers[k], Op: OpSet}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, rep, err := Recover(dir, 0, keys, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Replayed != n || st.LastSeq != uint64(n) {
+					b.Fatalf("replayed %d, want %d", rep.Replayed, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWriteSnapshot measures one atomic snapshot of a 16k-key shard
+// — the periodic cost that buys journal truncation.
+func BenchmarkWriteSnapshot(b *testing.B) {
+	dir := b.TempDir()
+	s := &Snapshot{Shard: 0, LastSeq: 1, Versions: make([]uint64, 16384)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LastSeq = uint64(i + 1)
+		if err := WriteSnapshot(dir, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package wal is the durability layer under cmd/slicekvsd: a per-shard
+// append-only journal of acknowledged SETs plus periodic atomic snapshots,
+// and a recovery path that rebuilds a shard's durable state from
+// snapshot + journal after a crash.
+//
+// The design is deliberately the smallest thing that gives crash
+// consistency with a bounded loss window:
+//
+//   - Every acked SET appends one fixed-size record {seqno, key, version}
+//     protected by a per-record CRC32. Records buffer in memory and reach
+//     disk in group commits (write + fsync) — the documented loss window
+//     is exactly the unflushed tail, bounded by the caller's flush
+//     interval and record threshold.
+//   - Snapshots are a full image of the durable state (per-key versions,
+//     counters, last seqno) written via temp-file + fsync + rename, so a
+//     crash at any byte leaves either the old snapshot or the new one,
+//     never a torn hybrid. After a snapshot lands, the journal is
+//     truncated; records at or below the snapshot seqno are skipped on
+//     replay, so a crash between snapshot and truncation is harmless.
+//   - Recovery loads the snapshot, replays the journal in seqno order, and
+//     repairs the journal file in place: a torn tail (partial final
+//     record — the signature of a crash mid-write) is silently truncated,
+//     while a corrupt record body (CRC mismatch, bad op, seqno going
+//     backwards) quarantines everything from the bad record onward into a
+//     side file and reports a typed *CorruptError — recovery degrades to
+//     the durable prefix instead of refusing to start.
+//
+// Like the rest of the daemon layer, nil is free: a shard built without a
+// journal pays one nil check on its SET path and nothing else.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Op identifies a journal record type.
+type Op uint8
+
+// OpSet is an acknowledged SET: key's version advanced to Ver.
+const OpSet Op = 1
+
+// Record is one journal entry. Seq is the shard-local write seqno,
+// strictly increasing across the journal (and across snapshots — a
+// truncation does not reset it). Key is the shard-local key rank and Ver
+// the key's new version after the write.
+type Record struct {
+	Seq uint64
+	Key uint64
+	Ver uint64
+	Op  Op
+}
+
+// Fixed on-disk record layout: op(1) pad(3) seq(8) key(8) ver(8) crc(4).
+const (
+	recordSize  = 32
+	recordBody  = 28 // bytes covered by the trailing CRC
+	journalMark = "SAWWAL01"
+	headerSize  = len(journalMark)
+)
+
+// journalPath/snapshotPath name the per-shard files inside dir.
+func journalPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.wal", shard))
+}
+
+func quarantinePath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.wal.quarantine", shard))
+}
+
+func snapshotPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.snap", shard))
+}
+
+// CorruptError reports journal content that failed validation beyond a
+// simple torn tail. Recovery quarantines the bad suffix and continues
+// with the durable prefix; the error is informational, not fatal.
+type CorruptError struct {
+	Shard  int
+	Offset int64  // file offset of the first bad record
+	Reason string // what failed: crc, op, or seqno ordering
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: shard %d journal corrupt at offset %d: %s (suffix quarantined)",
+		e.Shard, e.Offset, e.Reason)
+}
+
+func encodeRecord(dst []byte, r Record) {
+	_ = dst[recordSize-1]
+	dst[0] = byte(r.Op)
+	dst[1], dst[2], dst[3] = 0, 0, 0
+	binary.LittleEndian.PutUint64(dst[4:], r.Seq)
+	binary.LittleEndian.PutUint64(dst[12:], r.Key)
+	binary.LittleEndian.PutUint64(dst[20:], r.Ver)
+	binary.LittleEndian.PutUint32(dst[recordBody:], crc32.ChecksumIEEE(dst[:recordBody]))
+}
+
+// decodeRecord validates and decodes one record. It returns a non-empty
+// reason string when the record fails CRC or structural checks.
+func decodeRecord(src []byte) (Record, string) {
+	if got, want := crc32.ChecksumIEEE(src[:recordBody]), binary.LittleEndian.Uint32(src[recordBody:]); got != want {
+		return Record{}, fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", want, got)
+	}
+	r := Record{
+		Op:  Op(src[0]),
+		Seq: binary.LittleEndian.Uint64(src[4:]),
+		Key: binary.LittleEndian.Uint64(src[12:]),
+		Ver: binary.LittleEndian.Uint64(src[20:]),
+	}
+	if r.Op != OpSet {
+		return Record{}, fmt.Sprintf("unknown op %d", r.Op)
+	}
+	return r, ""
+}
+
+// Journal is one shard's append-only write journal. It is single-owner:
+// exactly one goroutine (the shard worker) appends and flushes. Appends
+// buffer in memory; Flush is the group commit that makes them durable.
+type Journal struct {
+	f       *os.File
+	path    string
+	shard   int
+	buf     []byte // encoded, unflushed records
+	pending int    // records in buf
+	lastSeq uint64 // last appended seqno (durable or not)
+	durable uint64 // last fsynced seqno
+
+	appends uint64
+	flushes uint64
+	broken  bool // a failed write poisons the journal until reopen
+}
+
+// OpenJournal opens (creating if needed) a shard's journal for appending.
+// lastSeq seeds the monotonicity check — pass the recovered state's last
+// seqno so appends continue the sequence. The file must already be
+// repaired (Recover truncates torn/corrupt tails); OpenJournal itself
+// only validates the header.
+func OpenJournal(dir string, shard int, lastSeq uint64) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	path := journalPath(dir, shard)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(journalMark); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync header: %w", err)
+		}
+	} else if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Journal{f: f, path: path, shard: shard, lastSeq: lastSeq, durable: lastSeq}, nil
+}
+
+// Append buffers one record. The record is NOT durable until the next
+// Flush — that gap is the loss window the daemon documents. Seqnos must
+// be strictly increasing.
+func (j *Journal) Append(r Record) error {
+	if j.broken {
+		return fmt.Errorf("wal: shard %d journal poisoned by earlier write failure", j.shard)
+	}
+	if r.Seq <= j.lastSeq {
+		return fmt.Errorf("wal: shard %d seqno %d not after %d", j.shard, r.Seq, j.lastSeq)
+	}
+	n := len(j.buf)
+	j.buf = append(j.buf, make([]byte, recordSize)...)
+	encodeRecord(j.buf[n:], r)
+	j.lastSeq = r.Seq
+	j.pending++
+	j.appends++
+	return nil
+}
+
+// Flush is the group commit: write every buffered record and fsync. On
+// success the journal's durable seqno advances to the last appended one.
+func (j *Journal) Flush() error {
+	if j.broken {
+		return fmt.Errorf("wal: shard %d journal poisoned by earlier write failure", j.shard)
+	}
+	if j.pending == 0 {
+		return nil
+	}
+	if _, err := j.f.Write(j.buf); err != nil {
+		j.broken = true
+		return fmt.Errorf("wal: shard %d flush: %w", j.shard, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+		return fmt.Errorf("wal: shard %d fsync: %w", j.shard, err)
+	}
+	j.buf = j.buf[:0]
+	j.pending = 0
+	j.durable = j.lastSeq
+	j.flushes++
+	return nil
+}
+
+// Reset truncates the journal back to its header after a snapshot made
+// its contents redundant. Seqnos continue — truncation never resets them.
+// Pending (unflushed) records survive in the buffer and land on the next
+// Flush; callers normally Flush before snapshotting anyway.
+func (j *Journal) Reset() error {
+	if j.broken {
+		return fmt.Errorf("wal: shard %d journal poisoned by earlier write failure", j.shard)
+	}
+	if err := j.f.Truncate(int64(headerSize)); err != nil {
+		j.broken = true
+		return fmt.Errorf("wal: shard %d truncate: %w", j.shard, err)
+	}
+	if _, err := j.f.Seek(int64(headerSize), 0); err != nil {
+		j.broken = true
+		return fmt.Errorf("wal: shard %d seek: %w", j.shard, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+		return fmt.Errorf("wal: shard %d sync: %w", j.shard, err)
+	}
+	return nil
+}
+
+// DropPending discards the buffered records without writing them. Only
+// correct after a snapshot that already covers every append — the tail is
+// then redundant, and rewriting it would just be replay-skipped later.
+func (j *Journal) DropPending() {
+	j.buf = j.buf[:0]
+	j.pending = 0
+	j.durable = j.lastSeq
+}
+
+// Pending reports the records buffered but not yet durable.
+func (j *Journal) Pending() int { return j.pending }
+
+// LastSeq reports the last appended seqno (durable or not).
+func (j *Journal) LastSeq() uint64 { return j.lastSeq }
+
+// DurableSeq reports the last fsynced seqno.
+func (j *Journal) DurableSeq() uint64 { return j.durable }
+
+// Appends and Flushes report lifetime operation counts.
+func (j *Journal) Appends() uint64 { return j.appends }
+
+// Flushes reports how many group commits reached disk.
+func (j *Journal) Flushes() uint64 { return j.flushes }
+
+// Close flushes any pending records and closes the file.
+func (j *Journal) Close() error {
+	ferr := j.Flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
