@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke crash-smoke ci
+.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke crash-smoke fleet-smoke ci
 
 all: build test
 
@@ -80,4 +80,21 @@ obs-smoke:
 crash-smoke:
 	bash scripts/crash_smoke.sh
 
-ci: build vet race determinism daemon-smoke obs-smoke crash-smoke
+# Orchestrator smoke: fleet expands the fleet-smoke scenario file
+# (reproduce matrix + isobench tenant + a serving trio), fans it across
+# worker processes, and the goldens must match byte-for-byte. The
+# failure-demo file then proves a hung/crashed/non-zero scenario is
+# classified as such and makes fleet exit non-zero.
+fleet-smoke:
+	$(GO) build -o /tmp/sliceaware-fleet ./cmd/fleet
+	/tmp/sliceaware-fleet -f scenarios/fleet-smoke.json -workers 2 \
+		-out /tmp/sliceaware-fleet-smoke
+	@if /tmp/sliceaware-fleet -f scenarios/failure-demo.json -workers 4 \
+		-out /tmp/sliceaware-fleet-failure; then \
+		echo "fleet-smoke: FAIL: failure-demo was expected to exit non-zero"; \
+		exit 1; \
+	else \
+		echo "fleet-smoke: failure-demo exited non-zero as expected"; \
+	fi
+
+ci: build vet race determinism daemon-smoke obs-smoke crash-smoke fleet-smoke

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Golden normalization mirrors the `make determinism` gate: the run
+// header carries a timestamp and the per-experiment footer a wall-clock
+// duration, so both are stripped before the byte comparison. Everything
+// else a tool prints is deterministic by contract (pinned by the
+// repo's jobs-equivalence golden tests).
+var (
+	headerRe = regexp.MustCompile(`^# Reproduction run`)
+	footerRe = regexp.MustCompile(`^\(.* in .*\)$`)
+)
+
+// normalizeOutput drops the timestamp/wall-clock lines and normalizes
+// the trailing newline so editors and check-ins cannot break the diff.
+func normalizeOutput(raw []byte) []byte {
+	lines := strings.Split(string(raw), "\n")
+	out := make([]string, 0, len(lines))
+	for _, ln := range lines {
+		clean := strings.TrimSuffix(ln, "\r")
+		if headerRe.MatchString(clean) || footerRe.MatchString(clean) {
+			continue
+		}
+		out = append(out, clean)
+	}
+	norm := strings.Join(out, "\n")
+	norm = strings.TrimRight(norm, "\n") + "\n"
+	return []byte(norm)
+}
+
+// firstDiff reports the first differing line between want and got
+// ("" when byte-identical) — enough context to act on without shipping
+// a full diff tool.
+func firstDiff(want, got []byte) string {
+	if bytes.Equal(want, got) {
+		return ""
+	}
+	w := strings.Split(string(want), "\n")
+	g := strings.Split(string(got), "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n- %s\n+ %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line %d: golden has %d lines, output has %d", n+1, len(w), len(g))
+}

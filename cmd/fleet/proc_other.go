@@ -1,0 +1,24 @@
+//go:build !unix
+
+package main
+
+import "os/exec"
+
+// Non-unix fallbacks: no process groups, no signal introspection. A
+// timeout still kills the direct child; graceful drain degrades to
+// Kill (the serving trio is only exercised on unix CI).
+func setProcGroup(cmd *exec.Cmd) {}
+
+func killGroup(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}
+
+func termSignal(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}
+
+func exitSignaled(err error) (bool, string) { return false, "" }

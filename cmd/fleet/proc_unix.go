@@ -1,0 +1,50 @@
+//go:build unix
+
+package main
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup puts the child in its own process group, so a timeout
+// kill reaps the whole tree (go run wrappers, shells, helpers) and not
+// just the direct child.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killGroup SIGKILLs the child's process group, falling back to the
+// process itself when the group is already gone.
+func killGroup(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}
+
+// termSignal sends SIGTERM (graceful drain) to the process.
+func termSignal(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+}
+
+// exitSignaled reports whether err (from Wait) records death by signal,
+// and the signal's name.
+func exitSignaled(err error) (bool, string) {
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		return false, ""
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok {
+		return false, ""
+	}
+	if ws.Signaled() {
+		return true, ws.Signal().String()
+	}
+	return false, ""
+}

@@ -5,6 +5,13 @@
 //
 //	reproduce [-scale quick|full] [-seed N] [-only T1,F4,F5,...] [-all]
 //	          [-jobs N] [-metrics-dir DIR] [-cpuprofile F] [-memprofile F]
+//	          [-list]
+//
+// -list prints the experiment catalog (IDs, kinds, titles, scales) as
+// JSON and exits; cmd/fleet and scenario validation discover valid
+// targets from it instead of hardcoding them. -only entries are
+// validated against the same catalog: an unknown ID is a hard error
+// (exit 2) listing the valid set, never a silent no-op run.
 //
 // -jobs fans each figure's independent trials across N workers (0 =
 // GOMAXPROCS). Trials derive their randomness from fixed per-stream
@@ -31,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,8 +72,19 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "run-wide seed; same seed reproduces the same numbers")
 	jobsFlag := flag.Int("jobs", 1, "workers for independent trials (0 = GOMAXPROCS); output is byte-identical for any value")
 	metricsDir := flag.String("metrics-dir", "", "dump per-figure telemetry (Prometheus text + slice timeline JSON) into this directory")
+	listFlag := flag.Bool("list", false, "print the experiment catalog (IDs, kinds, scales) as JSON and exit")
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *listFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(experiments.Catalog()); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments.SetSeed(*seedFlag)
 	experiments.SetJobs(*jobsFlag)
@@ -87,8 +106,18 @@ func main() {
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {
-		for _, id := range strings.Split(*onlyFlag, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		ids, err := experiments.ValidateIDs(strings.Split(*onlyFlag, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: -only: %v\n", err)
+			os.Exit(2)
+		}
+		if len(ids) == 0 {
+			fmt.Fprintf(os.Stderr, "reproduce: -only selected no experiments (valid: %s)\n",
+				strings.Join(experiments.ValidIDs(), " "))
+			os.Exit(2)
+		}
+		for _, id := range ids {
+			want[id] = true
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
@@ -124,7 +153,12 @@ func main() {
 	}
 
 	exit := 0
+	// registered collects every experiment ID this binary can run so the
+	// shared catalog (reproduce -list, scenario validation) provably
+	// matches the dispatch below.
+	registered := map[string]bool{}
 	show := func(id string, run func() (*experiments.Table, error)) {
+		registered[id] = true
 		if !selected(id) {
 			return
 		}
@@ -195,6 +229,7 @@ func main() {
 	// Ablations and extensions (run when selected explicitly, or with -all).
 	extSelected := func(id string) bool { return want[id] || (*allFlag && len(want) == 0) }
 	showExt := func(id string, run func() (*experiments.Table, error)) {
+		registered[id] = true
 		if !extSelected(id) {
 			return
 		}
@@ -235,6 +270,21 @@ func main() {
 		return experiments.OverloadBreakerStorm(scale)
 	})
 	showExt("F-TENANT", func() (*experiments.Table, error) { _, t, err := experiments.FigTenant(scale); return t, err })
+
+	// Catalog drift guard: every catalog entry must be runnable here and
+	// vice versa, or -list/-only validation would lie to scenario files.
+	for _, e := range experiments.Catalog() {
+		if !registered[e.ID] {
+			fmt.Fprintf(os.Stderr, "reproduce: BUG: catalog lists %s but no harness is registered for it\n", e.ID)
+			exit = 1
+		}
+	}
+	for id := range registered {
+		if !experiments.IsExperiment(id) {
+			fmt.Fprintf(os.Stderr, "reproduce: BUG: harness %s is not in the experiment catalog\n", id)
+			exit = 1
+		}
+	}
 
 	// Stop explicitly: os.Exit skips defers, and the CPU profile is only
 	// valid once StopCPUProfile has flushed it.

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ExperimentInfo describes one runnable experiment ID of the reproduce
+// harness: the paper artifacts (tables/figures), ablations and
+// extensions. The catalog is the single source of truth consumed by
+// cmd/reproduce (-only validation, -list) and by internal/scenario
+// (scenario-file validation), so scenario files and the CLI can never
+// disagree about what exists.
+type ExperimentInfo struct {
+	// ID is the selector accepted by reproduce -only (upper case).
+	ID string `json:"id"`
+	// Kind is "paper" (runs by default), "ablation" or "extension"
+	// (run with -all or when selected explicitly).
+	Kind string `json:"kind"`
+	// Title is a one-line description.
+	Title string `json:"title"`
+	// Scales lists the sample-count scales the experiment accepts.
+	// Scale-independent experiments (pure tables) list both: selecting
+	// them at either scale is valid and identical.
+	Scales []string `json:"scales"`
+}
+
+// catalog lists every experiment in the order cmd/reproduce runs them.
+var catalog = []ExperimentInfo{
+	{ID: "T1", Kind: "paper", Title: "Table 1: cache specification (Xeon E5-2667 v3)", Scales: []string{"quick", "full"}},
+	{ID: "F4", Kind: "paper", Title: "Fig 4: reverse-engineered Complex Addressing matrix", Scales: []string{"quick", "full"}},
+	{ID: "F5", Kind: "paper", Title: "Fig 5: access time from core 0 to each slice", Scales: []string{"quick", "full"}},
+	{ID: "F6", Kind: "paper", Title: "Fig 6: speedup of slice-aware allocation", Scales: []string{"quick", "full"}},
+	{ID: "F7", Kind: "paper", Title: "Fig 7: aggregate OPS vs per-core array size", Scales: []string{"quick", "full"}},
+	{ID: "F8", Kind: "paper", Title: "Fig 8: emulated KVS TPS", Scales: []string{"quick", "full"}},
+	{ID: "HR", Kind: "paper", Title: "§4.2: dynamic headroom distribution", Scales: []string{"quick", "full"}},
+	{ID: "F12", Kind: "paper", Title: "Fig 12: 64 B @ 1000 pps (no queueing)", Scales: []string{"quick", "full"}},
+	{ID: "F13", Kind: "paper", Title: "Fig 13: forwarding, campus mix @ 100 Gbps, RSS", Scales: []string{"quick", "full"}},
+	{ID: "F14", Kind: "paper", Title: "Fig 14: Router-NAPT-LB @ 100 Gbps, FlowDirector", Scales: []string{"quick", "full"}},
+	{ID: "T3", Kind: "paper", Title: "Table 3: throughput + improvement (derived from F13+F14)", Scales: []string{"quick", "full"}},
+	{ID: "F15", Kind: "paper", Title: "Fig 15: tail latency vs offered load + piecewise fit", Scales: []string{"quick", "full"}},
+	{ID: "F16", Kind: "paper", Title: "Fig 16: Skylake access times (18 slices)", Scales: []string{"quick", "full"}},
+	{ID: "T4", Kind: "paper", Title: "Table 4: preferable slices per core (Gold 6134)", Scales: []string{"quick", "full"}},
+	{ID: "F17", Kind: "paper", Title: "Fig 17: slice isolation vs CAT", Scales: []string{"quick", "full"}},
+	{ID: "A-DDIO", Kind: "ablation", Title: "DDIO way-count sweep", Scales: []string{"quick", "full"}},
+	{ID: "A-PLACE", Kind: "ablation", Title: "placement policy ablation", Scales: []string{"quick", "full"}},
+	{ID: "A-STEER", Kind: "ablation", Title: "NIC steering ablation", Scales: []string{"quick", "full"}},
+	{ID: "A-MULTI", Kind: "ablation", Title: "multi-slice spreading ablation", Scales: []string{"quick", "full"}},
+	{ID: "A-PF", Kind: "ablation", Title: "prefetcher ablation", Scales: []string{"quick", "full"}},
+	{ID: "A-RP", Kind: "ablation", Title: "replacement policy ablation", Scales: []string{"quick", "full"}},
+	{ID: "S6", Kind: "extension", Title: "CacheDirector on Skylake (SF non-inclusive)", Scales: []string{"quick", "full"}},
+	{ID: "S8V", Kind: "extension", Title: "large-value KVS placement", Scales: []string{"quick", "full"}},
+	{ID: "S8M", Kind: "extension", Title: "hot-key migration", Scales: []string{"quick", "full"}},
+	{ID: "S9C", Kind: "extension", Title: "page-coloring demo", Scales: []string{"quick", "full"}},
+	{ID: "S7H", Kind: "extension", Title: "VM isolation (§7 hypervisor)", Scales: []string{"quick", "full"}},
+	{ID: "S8S", Kind: "extension", Title: "shared-data placement", Scales: []string{"quick", "full"}},
+	{ID: "S4V", Kind: "extension", Title: "offset-targeted allocation", Scales: []string{"quick", "full"}},
+	{ID: "F-FAULTS", Kind: "extension", Title: "seeded fault-injection ablation", Scales: []string{"quick", "full"}},
+	{ID: "F-OVERLOAD", Kind: "extension", Title: "overload control past saturation (+ breaker storm)", Scales: []string{"quick", "full"}},
+	{ID: "F-TENANT", Kind: "extension", Title: "multi-tenant leaky-DMA isolation loop", Scales: []string{"quick", "full"}},
+}
+
+// Catalog returns a copy of the experiment catalog in execution order.
+func Catalog() []ExperimentInfo {
+	out := make([]ExperimentInfo, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// IsExperiment reports whether id (case-insensitive) names a catalog
+// experiment.
+func IsExperiment(id string) bool {
+	id = strings.ToUpper(strings.TrimSpace(id))
+	for _, e := range catalog {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidIDs returns every catalog ID, sorted, for error messages.
+func ValidIDs() []string {
+	ids := make([]string, len(catalog))
+	for i, e := range catalog {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ValidateIDs normalizes ids (trim, upper-case) and returns an error
+// naming every unknown entry together with the valid set. It is the
+// shared check behind reproduce -only and scenario-file validation.
+func ValidateIDs(ids []string) ([]string, error) {
+	norm := make([]string, 0, len(ids))
+	var unknown []string
+	for _, id := range ids {
+		u := strings.ToUpper(strings.TrimSpace(id))
+		if u == "" {
+			continue
+		}
+		if !IsExperiment(u) {
+			unknown = append(unknown, u)
+			continue
+		}
+		norm = append(norm, u)
+	}
+	if len(unknown) > 0 {
+		return norm, fmt.Errorf("unknown experiment ID(s) %s (valid: %s)",
+			strings.Join(unknown, ", "), strings.Join(ValidIDs(), " "))
+	}
+	return norm, nil
+}

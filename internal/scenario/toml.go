@@ -1,0 +1,402 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// parseTOML decodes the TOML subset scenario files use into the same
+// map shape encoding/json produces, so both formats share one schema
+// decoder. Supported: [table] and [[array-of-table]] headers with
+// dotted names, bare/quoted (possibly dotted) keys, basic and literal
+// strings, integers (with _ separators), floats, booleans, arrays
+// (multi-line, trailing comma allowed), inline tables, and # comments.
+// Unsupported TOML (dates, multi-line strings) is a parse error, not a
+// silent misread.
+func parseTOML(src string) (map[string]any, error) {
+	p := &tomlParser{s: src, line: 1}
+	root := map[string]any{}
+	cur := root
+	for {
+		p.skipSpaceAndComments(true)
+		if p.eof() {
+			return root, nil
+		}
+		switch p.peek() {
+		case '[':
+			tbl, err := p.parseHeader(root)
+			if err != nil {
+				return nil, err
+			}
+			cur = tbl
+		default:
+			if err := p.parseKeyValue(cur); err != nil {
+				return nil, err
+			}
+			if err := p.expectLineEnd(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+type tomlParser struct {
+	s    string
+	i    int
+	line int
+}
+
+func (p *tomlParser) eof() bool  { return p.i >= len(p.s) }
+func (p *tomlParser) peek() byte { return p.s[p.i] }
+
+func (p *tomlParser) next() byte {
+	c := p.s[p.i]
+	p.i++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *tomlParser) errf(format string, a ...any) error {
+	return fmt.Errorf("toml line %d: %s", p.line, fmt.Sprintf(format, a...))
+}
+
+// skipSpaceAndComments consumes spaces, tabs and comments; newlines too
+// when nl is true.
+func (p *tomlParser) skipSpaceAndComments(nl bool) {
+	for !p.eof() {
+		switch c := p.peek(); {
+		case c == ' ' || c == '\t' || c == '\r':
+			p.next()
+		case c == '\n' && nl:
+			p.next()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// expectLineEnd consumes trailing space/comment and the newline (or EOF).
+func (p *tomlParser) expectLineEnd() error {
+	p.skipSpaceAndComments(false)
+	if p.eof() {
+		return nil
+	}
+	if p.peek() != '\n' {
+		return p.errf("unexpected %q after value", string(p.peek()))
+	}
+	p.next()
+	return nil
+}
+
+// parseHeader handles [a.b] and [[a.b]] and returns the table to fill.
+func (p *tomlParser) parseHeader(root map[string]any) (map[string]any, error) {
+	p.next() // '['
+	array := false
+	if !p.eof() && p.peek() == '[' {
+		array = true
+		p.next()
+	}
+	path, err := p.parseDottedKey()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.next() != ']' {
+		return nil, p.errf("unterminated table header")
+	}
+	if array {
+		if p.eof() || p.next() != ']' {
+			return nil, p.errf("array-of-tables header needs ]]")
+		}
+	}
+	if err := p.expectLineEnd(); err != nil {
+		return nil, err
+	}
+
+	parent := root
+	for _, k := range path[:len(path)-1] {
+		parent, err = descend(parent, k)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+	}
+	last := path[len(path)-1]
+	if array {
+		list, _ := parent[last].([]any)
+		if parent[last] != nil && list == nil {
+			return nil, p.errf("key %q is not an array of tables", last)
+		}
+		tbl := map[string]any{}
+		parent[last] = append(list, any(tbl))
+		return tbl, nil
+	}
+	switch v := parent[last].(type) {
+	case nil:
+		tbl := map[string]any{}
+		parent[last] = tbl
+		return tbl, nil
+	case map[string]any:
+		return v, nil
+	default:
+		return nil, p.errf("table %q redefines a value", last)
+	}
+}
+
+// descend walks into (or creates) a sub-table; inside an array of
+// tables it walks into the latest element.
+func descend(parent map[string]any, k string) (map[string]any, error) {
+	switch v := parent[k].(type) {
+	case nil:
+		m := map[string]any{}
+		parent[k] = m
+		return m, nil
+	case map[string]any:
+		return v, nil
+	case []any:
+		if len(v) == 0 {
+			return nil, fmt.Errorf("key %q: empty array of tables", k)
+		}
+		m, ok := v[len(v)-1].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("key %q is not a table", k)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("key %q is not a table", k)
+	}
+}
+
+func isBareKeyChar(c byte) bool {
+	return c == '-' || c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// parseDottedKey reads a.b."c d" style key paths.
+func (p *tomlParser) parseDottedKey() ([]string, error) {
+	var path []string
+	for {
+		p.skipSpaceAndComments(false)
+		if p.eof() {
+			return nil, p.errf("unexpected end of input in key")
+		}
+		var part string
+		if c := p.peek(); c == '"' || c == '\'' {
+			s, err := p.parseString()
+			if err != nil {
+				return nil, err
+			}
+			part = s
+		} else {
+			start := p.i
+			for !p.eof() && isBareKeyChar(p.peek()) {
+				p.next()
+			}
+			part = p.s[start:p.i]
+			if part == "" {
+				return nil, p.errf("empty key component")
+			}
+		}
+		path = append(path, part)
+		p.skipSpaceAndComments(false)
+		if !p.eof() && p.peek() == '.' {
+			p.next()
+			continue
+		}
+		return path, nil
+	}
+}
+
+// parseKeyValue reads key = value into tbl, creating dotted sub-tables.
+func (p *tomlParser) parseKeyValue(tbl map[string]any) error {
+	path, err := p.parseDottedKey()
+	if err != nil {
+		return err
+	}
+	p.skipSpaceAndComments(false)
+	if p.eof() || p.next() != '=' {
+		return p.errf("expected '=' after key %q", strings.Join(path, "."))
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return err
+	}
+	parent := tbl
+	for _, k := range path[:len(path)-1] {
+		if parent, err = descend(parent, k); err != nil {
+			return p.errf("%v", err)
+		}
+	}
+	last := path[len(path)-1]
+	if _, dup := parent[last]; dup {
+		return p.errf("key %q set twice", strings.Join(path, "."))
+	}
+	parent[last] = v
+	return nil
+}
+
+func (p *tomlParser) parseValue() (any, error) {
+	p.skipSpaceAndComments(true)
+	if p.eof() {
+		return nil, p.errf("missing value")
+	}
+	switch c := p.peek(); {
+	case c == '"' || c == '\'':
+		return p.parseString()
+	case c == '[':
+		return p.parseArray()
+	case c == '{':
+		return p.parseInlineTable()
+	default:
+		return p.parseScalar()
+	}
+}
+
+func (p *tomlParser) parseString() (string, error) {
+	quote := p.next()
+	if strings.HasPrefix(p.s[p.i:], string([]byte{quote, quote})) {
+		return "", p.errf("multi-line strings are not supported")
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated string")
+		}
+		c := p.next()
+		if c == '\n' {
+			return "", p.errf("newline in string")
+		}
+		if c == quote {
+			return b.String(), nil
+		}
+		if quote == '\'' || c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if p.eof() {
+			return "", p.errf("unterminated escape")
+		}
+		switch e := p.next(); e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '"', '\\', '\'':
+			b.WriteByte(e)
+		case 'u', 'U':
+			n := 4
+			if e == 'U' {
+				n = 8
+			}
+			if p.i+n > len(p.s) {
+				return "", p.errf("truncated \\%c escape", e)
+			}
+			code, err := strconv.ParseUint(p.s[p.i:p.i+n], 16, 32)
+			if err != nil {
+				return "", p.errf("bad \\%c escape: %v", e, err)
+			}
+			p.i += n
+			b.WriteRune(rune(code))
+		default:
+			return "", p.errf("unsupported escape \\%c", e)
+		}
+	}
+}
+
+func (p *tomlParser) parseArray() (any, error) {
+	p.next() // '['
+	out := []any{}
+	for {
+		p.skipSpaceAndComments(true)
+		if p.eof() {
+			return nil, p.errf("unterminated array")
+		}
+		if p.peek() == ']' {
+			p.next()
+			return out, nil
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.skipSpaceAndComments(true)
+		if p.eof() {
+			return nil, p.errf("unterminated array")
+		}
+		switch p.peek() {
+		case ',':
+			p.next()
+		case ']':
+		default:
+			return nil, p.errf("expected ',' or ']' in array, got %q", string(p.peek()))
+		}
+	}
+}
+
+func (p *tomlParser) parseInlineTable() (any, error) {
+	p.next() // '{'
+	tbl := map[string]any{}
+	p.skipSpaceAndComments(false)
+	if !p.eof() && p.peek() == '}' {
+		p.next()
+		return tbl, nil
+	}
+	for {
+		if err := p.parseKeyValue(tbl); err != nil {
+			return nil, err
+		}
+		p.skipSpaceAndComments(false)
+		if p.eof() {
+			return nil, p.errf("unterminated inline table")
+		}
+		switch p.next() {
+		case ',':
+			p.skipSpaceAndComments(false)
+		case '}':
+			return tbl, nil
+		default:
+			return nil, p.errf("expected ',' or '}' in inline table")
+		}
+	}
+}
+
+// parseScalar handles booleans, integers and floats.
+func (p *tomlParser) parseScalar() (any, error) {
+	start := p.i
+	for !p.eof() {
+		c := p.peek()
+		if c == ',' || c == ']' || c == '}' || c == '\n' || c == '#' || c == ' ' || c == '\t' || c == '\r' {
+			break
+		}
+		p.next()
+	}
+	tok := p.s[start:p.i]
+	switch tok {
+	case "":
+		return nil, p.errf("missing value")
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if !utf8.ValidString(tok) {
+		return nil, p.errf("invalid value %q", tok)
+	}
+	num := strings.ReplaceAll(tok, "_", "")
+	if n, err := strconv.ParseInt(num, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(num, 64); err == nil {
+		return f, nil
+	}
+	return nil, p.errf("unsupported value %q (strings need quotes; dates are not supported)", tok)
+}

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLBasics(t *testing.T) {
+	m, err := parseTOML(`
+# top comment
+name = "sweep"
+run_seed = 42
+
+[defaults]
+tool = "nfvbench"
+timeout = "30s"
+flags = { packets = 1_000, cachedirector = true, gbps = 62.5 }
+
+[[matrix]]
+  [matrix.base]
+  id = "ov"
+  [matrix.axes]
+  "flags.queues" = [2, 4, 8] # trailing comment
+  "flags.aqm" = [
+    "codel",
+    "red",
+  ]
+`)
+	if err != nil {
+		t.Fatalf("parseTOML: %v", err)
+	}
+	if m["name"] != "sweep" || m["run_seed"] != int64(42) {
+		t.Fatalf("top-level wrong: %+v", m)
+	}
+	def := m["defaults"].(map[string]any)
+	flags := def["flags"].(map[string]any)
+	if flags["packets"] != int64(1000) || flags["cachedirector"] != true || flags["gbps"] != 62.5 {
+		t.Fatalf("inline table wrong: %+v", flags)
+	}
+	mat := m["matrix"].([]any)
+	if len(mat) != 1 {
+		t.Fatalf("matrix blocks = %d", len(mat))
+	}
+	axes := mat[0].(map[string]any)["axes"].(map[string]any)
+	if !reflect.DeepEqual(axes["flags.queues"], []any{int64(2), int64(4), int64(8)}) {
+		t.Fatalf("queues axis = %#v", axes["flags.queues"])
+	}
+	if !reflect.DeepEqual(axes["flags.aqm"], []any{"codel", "red"}) {
+		t.Fatalf("aqm axis = %#v", axes["flags.aqm"])
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	for src, frag := range map[string]string{
+		"a = 1\na = 2\n":          "set twice",
+		"a = bare\n":              "strings need quotes",
+		"a = \"unterminated\n":    "string",
+		"[t\na = 1\n":             "unterminated table header",
+		"a = 1979-05-27\n":        "not supported",
+		"a = \"\"\"multi\"\"\"\n": "multi-line",
+		"a = [1, 2\n\n":           "array",
+	} {
+		if _, err := parseTOML(src); err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("parseTOML(%q) error = %v, want %q", src, err, frag)
+		}
+	}
+}
+
+func TestLoadTOMLRoundTripsThroughSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.toml")
+	doc := `
+run_seed = 7
+
+[defaults]
+tool = "nfvbench"
+timeout = "45s"
+
+[[scenarios]]
+id = "base"
+flags = { packets = 2000, runs = 1 }
+
+[[matrix]]
+  [matrix.base]
+  id = "sweep"
+  flags = { packets = 2000, runs = 1, overload = true }
+  [matrix.axes]
+  "flags.queues" = [2, 8]
+`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if f.Name != "sweep" || f.Dir != dir {
+		t.Fatalf("name/dir = %q, %q", f.Name, f.Dir)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("expanded %d, want 3", len(scs))
+	}
+	if got := strings.Join(scs[2].Args, " "); !strings.Contains(got, "-queues=8") || !strings.Contains(got, "-overload=true") {
+		t.Fatalf("sweep args = %q", got)
+	}
+	if scs[1].ID != "sweep/queues=2" {
+		t.Fatalf("id = %q", scs[1].ID)
+	}
+}
+
+func TestLoadRejectsUnknownExtension(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.yaml")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("yaml accepted")
+	}
+}

@@ -1,110 +1,35 @@
 #!/usr/bin/env bash
-# Daemon smoke: start slicekvsd, drive it past saturation with
-# slicekvs-loadgen under a seeded fault plan, assert the chaos acceptance
-# (top-class p99 within the tail-ratio bound of the unloaded baseline,
-# class 0 actually shed), then SIGTERM and assert the health endpoint
-# walks ready -> draining -> down and a drain checkpoint lands on disk.
+# Daemon smoke, declarative edition: the assertions that used to live in
+# this script — chaos acceptance under past-saturation load (top-class
+# p99 within the tail-ratio bound of the unloaded baseline, class 0
+# shed), then SIGTERM with /healthz walking ready -> draining -> down, a
+# zero exit and a drain checkpoint on disk — are now the serving-trio
+# contract of cmd/fleet, driven by scenarios/serving-smoke.json. This
+# wrapper only runs fleet and keeps the checkpoint's stopped-transition
+# grep that has no scenario-schema equivalent.
 #
 # Exit 0 means every assertion held. Used by `make daemon-smoke` and the
 # daemon-smoke CI job.
 set -euo pipefail
 
-ADDR=127.0.0.1:21211
-HTTP=127.0.0.1:29090
-WORKDIR="$(mktemp -d)"
-CHECKPOINT="$WORKDIR/checkpoint.json"
-DAEMON_LOG="$WORKDIR/slicekvsd.log"
-SRV_PID=
+cd "$(dirname "$0")/.."
 
-cleanup() {
-	if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
-		kill -KILL "$SRV_PID" 2>/dev/null || true
-	fi
-	rm -rf "$WORKDIR"
-}
-trap cleanup EXIT
+OUT="${DAEMON_SMOKE_OUT:-$(mktemp -d)}"
+cleanup() { rm -rf "$OUT"; }
+[ -n "${DAEMON_SMOKE_OUT:-}" ] || trap cleanup EXIT
 
-fail() {
-	echo "daemon-smoke: FAIL: $*" >&2
+echo "daemon-smoke: running scenarios/serving-smoke.json via cmd/fleet"
+go run ./cmd/fleet -f scenarios/serving-smoke.json -out "$OUT" || {
+	echo "daemon-smoke: FAIL: fleet reported a failing scenario" >&2
 	echo "--- slicekvsd log ---" >&2
-	cat "$DAEMON_LOG" >&2 || true
+	cat "$OUT/daemon-smoke/slicekvsd.log" >&2 || true
 	exit 1
 }
 
-echo "daemon-smoke: building binaries"
-go build -o "$WORKDIR/slicekvsd" ./cmd/slicekvsd
-go build -o "$WORKDIR/slicekvs-loadgen" ./cmd/slicekvs-loadgen
-go build -o "$WORKDIR/httpget" ./scripts/httpget
-
-# Plain HTTP GET via the tiny helper so the script needs no curl/wget.
-# Prints the body ("ready", "draining", ...) or nothing when the port
-# refuses connections.
-healthz() {
-	"$WORKDIR/httpget" "http://$HTTP/healthz" 2>/dev/null || true
+CHECKPOINT="$OUT/daemon-smoke/checkpoint.json"
+grep -q '"stopped"' "$CHECKPOINT" || {
+	echo "daemon-smoke: FAIL: checkpoint lacks the stopped transition" >&2
+	exit 1
 }
-
-echo "daemon-smoke: starting slicekvsd"
-"$WORKDIR/slicekvsd" \
-	-addr "$ADDR" -http "$HTTP" \
-	-shards 4 -keys 65536 -warmup 256 \
-	-full-sojourn 300us \
-	-lame-duck 500ms -drain-timeout 10s \
-	-checkpoint "$CHECKPOINT" \
-	>"$DAEMON_LOG" 2>&1 &
-SRV_PID=$!
-
-echo "daemon-smoke: waiting for ready"
-for i in $(seq 1 100); do
-	if [ "$(healthz)" = "ready" ]; then
-		break
-	fi
-	kill -0 "$SRV_PID" 2>/dev/null || fail "daemon exited before becoming ready"
-	[ "$i" = 100 ] && fail "daemon never became ready"
-	sleep 0.1
-done
-echo "daemon-smoke: /healthz = ready"
-
-echo "daemon-smoke: running loadgen (baseline + chaos + past-saturation load)"
-"$WORKDIR/slicekvs-loadgen" \
-	-addr "$ADDR" -keys 65536 -conns 32 -classes 4 \
-	-seed 1 -duration 6s -baseline 3s -baseline-rate 200 \
-	-set-ratio 0.1 -churn-every 200 -timeout 1s \
-	-chaos 'nic-drop:0.002,slowdown:0.02:20' -chaos-seed 42 \
-	-assert-tail-ratio 2.0 \
-	-json "$WORKDIR/loadgen.json" \
-	|| fail "loadgen acceptance failed (exit $?)"
-echo "daemon-smoke: loadgen acceptance held"
-
-echo "daemon-smoke: sending SIGTERM"
-kill -TERM "$SRV_PID"
-
-SAW_DRAINING=0
-for i in $(seq 1 100); do
-	state="$(healthz)"
-	if [ "$state" = "draining" ]; then
-		SAW_DRAINING=1
-		break
-	fi
-	[ -z "$state" ] && break # already down: lame-duck shorter than our poll
-	sleep 0.05
-done
-[ "$SAW_DRAINING" = 1 ] || fail "never observed /healthz = draining after SIGTERM"
-echo "daemon-smoke: /healthz = draining"
-
-for i in $(seq 1 200); do
-	if ! kill -0 "$SRV_PID" 2>/dev/null; then
-		break
-	fi
-	[ "$i" = 200 ] && fail "daemon did not exit within 10s of SIGTERM"
-	sleep 0.05
-done
-wait "$SRV_PID" || fail "daemon exited non-zero"
-SRV_PID=
-[ -z "$(healthz)" ] || fail "health endpoint still answering after exit"
-echo "daemon-smoke: daemon exited 0, health endpoint down"
-
-[ -s "$CHECKPOINT" ] || fail "drain checkpoint missing or empty at $CHECKPOINT"
-grep -q '"stopped"' "$CHECKPOINT" || fail "checkpoint lacks the stopped transition"
 echo "daemon-smoke: checkpoint written ($(wc -c <"$CHECKPOINT") bytes)"
-
 echo "daemon-smoke: PASS"
