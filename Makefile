@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json determinism daemon-smoke obs-smoke crash-smoke fleet-smoke ci
+.PHONY: all build test race vet lint bench bench-json bench-compare bench-gate determinism daemon-smoke obs-smoke crash-smoke fleet-smoke paper-golden ci
 
 all: build test
 
@@ -36,12 +36,41 @@ bench:
 # disabled-tracer benchmark in ./internal/obs/ and the no-WAL shard
 # serve benchmark in ./cmd/slicekvsd/ are the proofs that tracing off
 # and journaling off mean zero hot-path cost.
-# BENCH_8.json in the repo root is a committed snapshot of this output.
+# BENCH_10.json in the repo root is a committed snapshot of this output.
+# The list now covers the batch-core hot paths too (dpdk steering and
+# presteered delivery, batched cache lookup/insert, batched slice hash)
+# and the multi-core scaling curve (BenchmarkJobsScaling, whose jobs>1
+# points only record on multi-core machines).
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json \
 		./internal/chash/ ./internal/cachesim/ ./internal/netsim/ \
-		./internal/parallel/ ./internal/experiments/ \
-		./internal/obs/ ./internal/wal/ ./cmd/slicekvsd/ > BENCH_8.json
+		./internal/dpdk/ ./internal/parallel/ ./internal/experiments/ \
+		./internal/obs/ ./internal/wal/ ./cmd/slicekvsd/ > BENCH_10.json
+
+# Benchstat-style delta of two committed snapshots:
+#   make bench-compare                          # BENCH_8 -> BENCH_10
+#   make bench-compare OLD=BENCH_7.json NEW=BENCH_8.json
+OLD ?= BENCH_8.json
+NEW ?= BENCH_10.json
+bench-compare:
+	$(GO) run ./cmd/benchcompare $(OLD) $(NEW)
+
+# Perf-regression gate (CI): re-measure the headline forwarding
+# benchmark and the zero-alloc batch paths on this machine, then compare
+# against the committed BENCH_10.json snapshot. Fails on a >20% ns/op
+# regression of BenchmarkRunRateForwarding or on any benchmark that was
+# zero-alloc in the snapshot reporting allocations now. The headline
+# runs at full benchtime (the conditions the snapshot was recorded
+# under — short runs read up to 30% high and trip the gate on noise);
+# the batch micro-benchmarks run 100 iterations, enough for their
+# allocs/op to be exact.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunRateForwarding$$' -benchmem -json \
+		./internal/netsim/ > /tmp/sliceaware-bench-head.json
+	$(GO) test -run '^$$' -bench 'Batch' -benchmem -benchtime=100x -json \
+		./internal/dpdk/ ./internal/cachesim/ ./internal/chash/ \
+		>> /tmp/sliceaware-bench-head.json
+	$(GO) run ./cmd/benchcompare -gate BENCH_10.json /tmp/sliceaware-bench-head.json
 
 # Parallel determinism gate: the full quick reproduction must be
 # byte-identical at -jobs 1 and -jobs 4 (timestamps and wall-clock
@@ -97,4 +126,15 @@ fleet-smoke:
 		echo "fleet-smoke: failure-demo exited non-zero as expected"; \
 	fi
 
-ci: build vet race determinism daemon-smoke obs-smoke crash-smoke fleet-smoke
+# Paper-figure golden gate on the batch core: the full paper-quick
+# scenario matrix runs through fleet with SLICEAWARE_CORE=batch forced
+# via the scenario file's env block, and every figure must match its
+# committed golden byte-for-byte. This pins the batch pipeline to the
+# exact numbers the scalar oracle produced when the goldens were cut.
+paper-golden:
+	$(GO) build -o /tmp/sliceaware-fleet ./cmd/fleet
+	/tmp/sliceaware-fleet -f scenarios/paper-quick.json -workers 2 \
+		-out /tmp/sliceaware-paper-golden
+	@echo "paper-quick goldens byte-identical on the batch core"
+
+ci: build vet race determinism bench-gate daemon-smoke obs-smoke crash-smoke fleet-smoke paper-golden

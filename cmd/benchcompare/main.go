@@ -1,0 +1,212 @@
+// Command benchcompare diffs two benchmark snapshots produced by
+// `make bench-json` (go test -bench -json output) and prints a
+// benchstat-style table of ns/op deltas plus any allocs/op changes.
+//
+// With -gate it enforces the perf-regression contract of the batch
+// simulator core and exits non-zero when either rule is violated:
+//
+//   - the headline benchmark (-bench, default BenchmarkRunRateForwarding)
+//     regresses by more than -threshold percent in ns/op, or is missing
+//     from either snapshot;
+//   - any benchmark that was zero-alloc in the old snapshot reports
+//     allocations in the new one.
+//
+// Usage:
+//
+//	benchcompare [-gate] [-bench name] [-threshold pct] OLD.json NEW.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark's parsed result line, unit -> value
+// (e.g. "ns/op" -> 5.138, "allocs/op" -> 0).
+type metrics map[string]float64
+
+// event is the subset of a test2json record benchcompare needs.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseResultLine parses a benchmark result line such as
+//
+//	200460237\t         5.138 ns/op\t       0 B/op\t       0 allocs/op
+//
+// (optionally prefixed with the benchmark name, as plain -bench output
+// is). It returns the name embedded in the line ("" when absent), the
+// metrics, and whether the line was a result line at all.
+func parseResultLine(line string) (name string, m metrics, ok bool) {
+	fields := strings.Split(strings.TrimSpace(line), "\t")
+	if len(fields) < 2 {
+		return "", nil, false
+	}
+	i := 0
+	if strings.HasPrefix(fields[0], "Benchmark") {
+		// Strip the -GOMAXPROCS suffix so names match the Test field.
+		name = strings.TrimSpace(fields[0])
+		if cut := strings.LastIndex(name, "-"); cut > 0 {
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		i = 1
+	}
+	if i >= len(fields) {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64); err != nil {
+		return "", nil, false // first numeric field is the iteration count
+	}
+	m = metrics{}
+	for _, f := range fields[i+1:] {
+		parts := strings.Fields(f)
+		if len(parts) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			continue
+		}
+		m[parts[1]] = v
+	}
+	if len(m) == 0 {
+		return "", nil, false
+	}
+	return name, m, true
+}
+
+// load reads one snapshot. It accepts both test2json streams (the
+// committed BENCH_*.json format) and plain `go test -bench` text, and
+// returns benchmark name -> metrics. A benchmark measured more than once
+// keeps its last result.
+func load(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]metrics{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+				continue
+			}
+			name, m, ok := parseResultLine(ev.Output)
+			if !ok {
+				continue
+			}
+			if strings.HasPrefix(ev.Test, "Benchmark") {
+				name = ev.Test
+			}
+			if name != "" {
+				out[name] = m
+			}
+			continue
+		}
+		if name, m, ok := parseResultLine(line); ok && name != "" {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func pct(old, new float64) float64 { return (new - old) / old * 100 }
+
+func main() {
+	gate := flag.Bool("gate", false, "enforce regression gates; exit non-zero on violation")
+	headline := flag.String("bench", "BenchmarkRunRateForwarding", "headline benchmark for the ns/op gate")
+	threshold := flag.Float64("threshold", 20, "max allowed headline ns/op regression, percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcompare [-gate] [-bench name] [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+
+	olds, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	news, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+
+	var common []string
+	for name := range olds {
+		if _, ok := news[name]; ok {
+			common = append(common, name)
+		}
+	}
+	sort.Strings(common)
+
+	fmt.Printf("%-56s %14s %14s %9s\n", "benchmark ("+oldPath+" vs "+newPath+")", "old ns/op", "new ns/op", "delta")
+	var violations []string
+	for _, name := range common {
+		o, n := olds[name], news[name]
+		oNs, oOK := o["ns/op"]
+		nNs, nOK := n["ns/op"]
+		if !oOK || !nOK {
+			continue
+		}
+		fmt.Printf("%-56s %14.1f %14.1f %+8.1f%%\n", name, oNs, nNs, pct(oNs, nNs))
+		if o["allocs/op"] == 0 && n["allocs/op"] > 0 {
+			msg := fmt.Sprintf("%s: was zero-alloc, now %.0f allocs/op", name, n["allocs/op"])
+			fmt.Printf("  ALLOC REGRESSION: %s\n", msg)
+			violations = append(violations, msg)
+		} else if o["allocs/op"] != n["allocs/op"] {
+			fmt.Printf("  allocs/op: %.0f -> %.0f\n", o["allocs/op"], n["allocs/op"])
+		}
+	}
+	fmt.Printf("%d benchmarks compared (%d only in %s, %d only in %s)\n",
+		len(common), len(olds)-len(common), oldPath, len(news)-len(common), newPath)
+
+	if !*gate {
+		return
+	}
+	o, oOK := olds[*headline]
+	n, nOK := news[*headline]
+	switch {
+	case !oOK || !nOK:
+		violations = append(violations, fmt.Sprintf("headline %s missing from %s", *headline,
+			map[bool]string{true: newPath, false: oldPath}[oOK]))
+	case n["ns/op"] > o["ns/op"]*(1+*threshold/100):
+		violations = append(violations, fmt.Sprintf("headline %s regressed %.1f%% in ns/op (%.0f -> %.0f, limit +%.0f%%)",
+			*headline, pct(o["ns/op"], n["ns/op"]), o["ns/op"], n["ns/op"], *threshold))
+	}
+	if len(violations) > 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: GATE FAILED")
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("gate passed: %s within +%.0f%% ns/op, no alloc regressions on zero-alloc paths\n", *headline, *threshold)
+}

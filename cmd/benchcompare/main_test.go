@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseResultLine(t *testing.T) {
+	cases := []struct {
+		line     string
+		wantName string
+		wantNs   float64
+		wantOK   bool
+	}{
+		{"200460237\t         5.138 ns/op\t       0 B/op\t       0 allocs/op\n", "", 5.138, true},
+		{"BenchmarkRunRateForwarding-8   \t     100\t 1351033 ns/op\t 0 B/op\t 0 allocs/op", "BenchmarkRunRateForwarding", 1351033, true},
+		{"BenchmarkSteerBatch/batch-4 \t 1000\t 250.5 ns/op", "BenchmarkSteerBatch/batch", 250.5, true},
+		{"=== RUN   BenchmarkRunRateForwarding\n", "", 0, false},
+		{"goos: linux\n", "", 0, false},
+		{"PASS\n", "", 0, false},
+	}
+	for _, c := range cases {
+		name, m, ok := parseResultLine(c.line)
+		if ok != c.wantOK {
+			t.Fatalf("parseResultLine(%q) ok=%v, want %v", c.line, ok, c.wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if name != c.wantName {
+			t.Fatalf("parseResultLine(%q) name=%q, want %q", c.line, name, c.wantName)
+		}
+		if m["ns/op"] != c.wantNs {
+			t.Fatalf("parseResultLine(%q) ns/op=%v, want %v", c.line, m["ns/op"], c.wantNs)
+		}
+	}
+}
+
+func TestLoadTest2JSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	content := `{"Action":"output","Package":"p","Output":"goos: linux\n"}
+{"Action":"run","Package":"p","Test":"BenchmarkA"}
+{"Action":"output","Package":"p","Test":"BenchmarkA","Output":"BenchmarkA\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkA","Output":"100\t 42.5 ns/op\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkB/sub","Output":"7\t 1000 ns/op\t 16 B/op\t 2 allocs/op\n"}
+{"Action":"pass","Package":"p"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("load: %d benchmarks, want 2 (%v)", len(got), got)
+	}
+	if got["BenchmarkA"]["ns/op"] != 42.5 || got["BenchmarkA"]["allocs/op"] != 0 {
+		t.Fatalf("BenchmarkA = %v", got["BenchmarkA"])
+	}
+	if got["BenchmarkB/sub"]["allocs/op"] != 2 {
+		t.Fatalf("BenchmarkB/sub = %v", got["BenchmarkB/sub"])
+	}
+}
+
+// TestLoadCommittedSnapshot keeps the parser honest against the real
+// committed snapshot format (BENCH_8.json at the repo root).
+func TestLoadCommittedSnapshot(t *testing.T) {
+	got, err := load(filepath.Join("..", "..", "BENCH_8.json"))
+	if err != nil {
+		t.Skipf("committed snapshot unavailable: %v", err)
+	}
+	m, ok := got["BenchmarkRunRateForwarding"]
+	if !ok {
+		t.Fatal("BenchmarkRunRateForwarding missing from committed snapshot")
+	}
+	if m["ns/op"] <= 0 {
+		t.Fatalf("BenchmarkRunRateForwarding ns/op = %v, want > 0", m["ns/op"])
+	}
+}

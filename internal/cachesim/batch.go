@@ -1,0 +1,30 @@
+package cachesim
+
+// Batch passes over the struct-of-arrays cache state. Each pass applies
+// the scalar operation to every element in array order, so the resulting
+// cache state, statistics and victim stream are byte-identical to the
+// equivalent scalar loop — the scalar methods are the oracle, the batch
+// passes only amortize call overhead and keep the set metadata hot.
+
+// LookupBatch probes every line in order, recording each result in hits.
+// Semantics per element are exactly Lookup(line, write). hits must be at
+// least as long as lines.
+func (c *Cache) LookupBatch(lines []uint64, write bool, hits []bool) {
+	_ = hits[:len(lines)]
+	for i, line := range lines {
+		hits[i] = c.Lookup(line, write)
+	}
+}
+
+// InsertBatch inserts every line in order under one mask, appending the
+// victim of each insertion that evicted a valid line to victims (in
+// insertion order) and returning the extended slice. Semantics per element
+// are exactly Insert(line, dirty, mask).
+func (c *Cache) InsertBatch(lines []uint64, dirty bool, mask WayMask, victims []Victim) []Victim {
+	for _, line := range lines {
+		if v := c.Insert(line, dirty, mask); v.Evicted {
+			victims = append(victims, v)
+		}
+	}
+	return victims
+}

@@ -1,0 +1,108 @@
+package cachesim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBatchMatchesScalarOps drives two identical caches through the same
+// random operation stream — one via the scalar methods, one via the batch
+// passes in randomly-sized chunks (including empty and single-element) —
+// and requires identical tables, stats, LRU order (probed by further
+// evictions) and victim streams.
+func TestBatchMatchesScalarOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		scalar := MustNew("scalar", 16, 4)
+		batch := MustNew("batch", 16, 4)
+		mask := AllWays
+		if trial%3 == 1 {
+			mask = MaskOfWays(2)
+		} else if trial%3 == 2 {
+			mask = MaskOfWayRange(1, 3)
+		}
+		for round := 0; round < 30; round++ {
+			n := rng.Intn(40) // includes 0
+			lines := make([]uint64, n)
+			for i := range lines {
+				lines[i] = uint64(rng.Intn(256)) // dense enough to collide
+			}
+			dirty := rng.Intn(2) == 0
+			if rng.Intn(2) == 0 {
+				// Insert pass.
+				var sv []Victim
+				for _, line := range lines {
+					if v := scalar.Insert(line, dirty, mask); v.Evicted {
+						sv = append(sv, v)
+					}
+				}
+				bv := batch.InsertBatch(lines, dirty, mask, nil)
+				if !reflect.DeepEqual(sv, bv) {
+					t.Fatalf("trial %d round %d: victim streams diverged:\n%v\nvs\n%v", trial, round, sv, bv)
+				}
+			} else {
+				// Lookup pass.
+				write := rng.Intn(2) == 0
+				sh := make([]bool, n)
+				for i, line := range lines {
+					sh[i] = scalar.Lookup(line, write)
+				}
+				bh := make([]bool, n)
+				batch.LookupBatch(lines, write, bh)
+				if !reflect.DeepEqual(sh, bh) {
+					t.Fatalf("trial %d round %d: hit vectors diverged", trial, round)
+				}
+			}
+			if !reflect.DeepEqual(scalar.Stats(), batch.Stats()) {
+				t.Fatalf("trial %d round %d: stats diverged: %+v vs %+v", trial, round, scalar.Stats(), batch.Stats())
+			}
+			if !reflect.DeepEqual(scalar.Lines(), batch.Lines()) {
+				t.Fatalf("trial %d round %d: tables diverged", trial, round)
+			}
+		}
+	}
+}
+
+// BenchmarkLookupBatch measures the batched probe pass on a warm cache
+// (hit path) against the equivalent scalar loop.
+func BenchmarkLookupBatch(b *testing.B) {
+	c := MustNew("bench", 1024, 8)
+	lines := make([]uint64, 256)
+	for i := range lines {
+		lines[i] = uint64(i * 7)
+		c.Insert(lines[i], false, AllWays)
+	}
+	hits := make([]bool, len(lines))
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.LookupBatch(lines, false, hits)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, line := range lines {
+				hits[j] = c.Lookup(line, false)
+			}
+		}
+	})
+}
+
+// BenchmarkInsertBatch measures the batched insert pass under eviction
+// pressure (working set larger than the cache).
+func BenchmarkInsertBatch(b *testing.B) {
+	c := MustNew("bench", 64, 8)
+	lines := make([]uint64, 2048)
+	for i := range lines {
+		lines[i] = uint64(i)
+	}
+	victims := make([]Victim, 0, len(lines))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victims = c.InsertBatch(lines, true, AllWays, victims[:0])
+	}
+	_ = victims
+}

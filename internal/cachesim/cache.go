@@ -6,6 +6,15 @@
 // contents. Callers address it with line numbers (physical address >> 6).
 // The same type backs L1, L2 and each LLC slice; inclusion policy is
 // enforced one level up, in the cache-hierarchy walker.
+//
+// Internally the model is struct-of-arrays: line numbers and ages live in
+// flat parallel arrays and validity/dirtiness are one bitmap word per set,
+// so a set probe is a bit scan instead of a struct walk, and an exact
+// LineSet presence filter answers the common negative cases — Lookup miss,
+// Contains miss, Invalidate of an absent line — in O(1) without touching
+// the set at all. The DMA invalidation storm of the DDIO model is almost
+// entirely absent lines, which is why the filter, not the set scan, decides
+// the simulator's throughput.
 package cachesim
 
 import (
@@ -29,13 +38,6 @@ type Stats struct {
 	Writebacks uint64 // dirty lines displaced or flushed
 }
 
-type entry struct {
-	line  uint64
-	age   uint64 // larger = more recently used
-	valid bool
-	dirty bool
-}
-
 // Cache is one set-associative cache. Not safe for concurrent use; the
 // simulated machine serializes accesses per cache.
 type Cache struct {
@@ -43,7 +45,11 @@ type Cache struct {
 	ways     int
 	sets     int
 	setMask  uint64
-	entries  []entry // sets × ways, row-major
+	lines    []uint64 // sets × ways, row-major; meaningful only where valid
+	ages     []uint64 // sets × ways, row-major; larger = more recently used
+	valid    []uint64 // one bitmap word per set, bit w = way w holds a line
+	dirty    []uint64 // one bitmap word per set, bit w = way w is dirty
+	present  wayMap   // exact line→way index over every valid line
 	clock    uint64
 	stats    Stats
 	occupied int
@@ -65,7 +71,10 @@ func New(name string, sets, ways int) (*Cache, error) {
 		ways:    ways,
 		sets:    sets,
 		setMask: uint64(sets - 1),
-		entries: make([]entry, sets*ways),
+		lines:   make([]uint64, sets*ways),
+		ages:    make([]uint64, sets*ways),
+		valid:   make([]uint64, sets),
+		dirty:   make([]uint64, sets),
 	}, nil
 }
 
@@ -101,37 +110,27 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 func (c *Cache) setIndex(line uint64) int { return int(line & c.setMask) }
 
-func (c *Cache) set(idx int) []entry { return c.entries[idx*c.ways : (idx+1)*c.ways] }
-
 // Lookup probes for a line. On a hit the line becomes most recently used
 // and, if write is set, is marked dirty.
 func (c *Cache) Lookup(line uint64, write bool) bool {
-	set := c.set(c.setIndex(line))
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			c.clock++
-			set[i].age = c.clock
-			if write {
-				set[i].dirty = true
-			}
-			c.stats.Hits++
-			return true
-		}
+	w8 := c.present.get(line)
+	if w8 == 0 {
+		c.stats.Misses++
+		return false
 	}
-	c.stats.Misses++
-	return false
+	w := uint(w8 - 1)
+	idx := c.setIndex(line)
+	c.clock++
+	c.ages[idx*c.ways+int(w)] = c.clock
+	if write {
+		c.dirty[idx] |= 1 << w
+	}
+	c.stats.Hits++
+	return true
 }
 
 // Contains probes for a line without perturbing LRU state or statistics.
-func (c *Cache) Contains(line uint64) bool {
-	set := c.set(c.setIndex(line))
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return true
-		}
-	}
-	return false
-}
+func (c *Cache) Contains(line uint64) bool { return c.present.get(line) != 0 }
 
 // Victim describes a line displaced by an insertion.
 type Victim struct {
@@ -145,52 +144,57 @@ type Victim struct {
 // refreshed in place (its dirty bit ORs with dirty) and no victim results.
 func (c *Cache) Insert(line uint64, dirty bool, mask WayMask) Victim {
 	idx := c.setIndex(line)
-	set := c.set(idx)
+	base := idx * c.ways
 	c.clock++
 
 	// Already present: refresh.
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].age = c.clock
-			set[i].dirty = set[i].dirty || dirty
-			return Victim{}
+	if w8 := c.present.get(line); w8 != 0 {
+		w := int(w8 - 1)
+		c.ages[base+w] = c.clock
+		if dirty {
+			c.dirty[idx] |= 1 << uint(w)
 		}
+		return Victim{}
 	}
 
 	c.stats.Insertions++
 
-	// Insert runs on every miss of every simulated cache level, so the way
-	// scan iterates the mask bits in place instead of materializing a []int
-	// of allowed ways (which was one heap allocation per insertion). An
-	// empty in-range mask degenerates to all ways so a misconfigured CAT
+	// An empty in-range mask degenerates to all ways so a misconfigured CAT
 	// class cannot wedge the cache.
 	eff := c.effectiveMask(mask)
-	// Prefer an invalid allowed way (lowest index first — TrailingZeros
-	// walks the mask in ascending way order).
-	victimWay := -1
-	for m := eff; m != 0; m &= m - 1 {
-		if w := bits.TrailingZeros64(m); !set[w].valid {
-			victimWay = w
-			break
-		}
-	}
 	var v Victim
-	if victimWay < 0 {
+	var victimWay int
+	if inv := eff &^ c.valid[idx]; inv != 0 {
+		// Prefer an invalid allowed way (lowest index first).
+		victimWay = bits.TrailingZeros64(inv)
+	} else {
 		// Evict the LRU entry among allowed ways (earliest index wins ties).
+		victimWay = -1
 		for m := eff; m != 0; m &= m - 1 {
 			w := bits.TrailingZeros64(m)
-			if victimWay < 0 || set[w].age < set[victimWay].age {
+			if victimWay < 0 || c.ages[base+w] < c.ages[base+victimWay] {
 				victimWay = w
 			}
 		}
-		v = Victim{Line: set[victimWay].line, Dirty: set[victimWay].dirty, Evicted: true}
+		vb := uint64(1) << uint(victimWay)
+		v = Victim{Line: c.lines[base+victimWay], Dirty: c.dirty[idx]&vb != 0, Evicted: true}
 		c.stats.Evictions++
 		if v.Dirty {
 			c.stats.Writebacks++
 		}
+		c.present.clear(v.Line)
 		c.occupied--
 	}
-	set[victimWay] = entry{line: line, age: c.insertionAge(), valid: true, dirty: dirty}
+	wb := uint64(1) << uint(victimWay)
+	c.lines[base+victimWay] = line
+	c.ages[base+victimWay] = c.insertionAge()
+	c.valid[idx] |= wb
+	if dirty {
+		c.dirty[idx] |= wb
+	} else {
+		c.dirty[idx] &^= wb
+	}
+	c.present.set(line, victimWay)
 	c.occupied++
 	return v
 }
@@ -211,33 +215,37 @@ func (c *Cache) effectiveMask(mask WayMask) uint64 {
 // Invalidate removes a line if present, reporting whether it was there and
 // whether it was dirty (i.e. required write-back, as clflush does).
 func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
-	set := c.set(c.setIndex(line))
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			dirty = set[i].dirty
-			if dirty {
-				c.stats.Writebacks++
-			}
-			set[i] = entry{}
-			c.occupied--
-			return true, dirty
-		}
+	w8 := c.present.get(line)
+	if w8 == 0 {
+		return false, false
 	}
-	return false, false
+	idx := c.setIndex(line)
+	wb := uint64(1) << uint(w8-1)
+	dirty = c.dirty[idx]&wb != 0
+	if dirty {
+		c.stats.Writebacks++
+	}
+	c.valid[idx] &^= wb
+	c.dirty[idx] &^= wb
+	c.present.clear(line)
+	c.occupied--
+	return true, dirty
 }
 
 // FlushAll invalidates every line, returning the number of dirty lines
 // written back.
 func (c *Cache) FlushAll() (writebacks int) {
-	for i := range c.entries {
-		if c.entries[i].valid {
-			if c.entries[i].dirty {
-				writebacks++
-				c.stats.Writebacks++
-			}
-			c.entries[i] = entry{}
+	for idx := 0; idx < c.sets; idx++ {
+		if c.valid[idx] == 0 {
+			continue
 		}
+		wb := bits.OnesCount64(c.valid[idx] & c.dirty[idx])
+		writebacks += wb
+		c.stats.Writebacks += uint64(wb)
+		c.valid[idx] = 0
+		c.dirty[idx] = 0
 	}
+	c.present.clearAll()
 	c.occupied = 0
 	return writebacks
 }
@@ -245,9 +253,10 @@ func (c *Cache) FlushAll() (writebacks int) {
 // Lines returns all valid lines, useful for inclusion checks in tests.
 func (c *Cache) Lines() []uint64 {
 	out := make([]uint64, 0, c.occupied)
-	for i := range c.entries {
-		if c.entries[i].valid {
-			out = append(out, c.entries[i].line)
+	for idx := 0; idx < c.sets; idx++ {
+		base := idx * c.ways
+		for m := c.valid[idx]; m != 0; m &= m - 1 {
+			out = append(out, c.lines[base+bits.TrailingZeros64(m)])
 		}
 	}
 	return out
@@ -261,27 +270,15 @@ func (c *Cache) MaskLen(mask WayMask) int {
 		return c.occupied
 	}
 	n := 0
-	for s := 0; s < c.sets; s++ {
-		set := c.set(s)
-		for w := 0; w < c.ways; w++ {
-			if mask&(1<<uint(w)) != 0 && set[w].valid {
-				n++
-			}
-		}
+	for idx := 0; idx < c.sets; idx++ {
+		n += bits.OnesCount64(c.valid[idx] & uint64(mask))
 	}
 	return n
 }
 
 // SetOccupancy returns the number of valid ways in the set holding line.
 func (c *Cache) SetOccupancy(line uint64) int {
-	set := c.set(c.setIndex(line))
-	n := 0
-	for i := range set {
-		if set[i].valid {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(c.valid[c.setIndex(line)])
 }
 
 // MaskOfWays builds a WayMask of the first n ways (CAT-style contiguous

@@ -1,0 +1,111 @@
+package cachesim
+
+// wayMap is the cache's exact line→way index: a paged byte array mapping a
+// line number to 1 + the way it occupies (0 = not resident). It is what
+// turns every probe — hit or miss, Lookup, Insert-refresh, Invalidate —
+// into O(1) with no set scan: the set-associative arrays remain the model
+// of record (ages, dirty bits, victim selection), the wayMap is a
+// derived index maintained exactly in step with them.
+//
+// Pages cover 2^12 lines (4 KiB each) so adversarial sparse keys (property
+// tests draw random uint64 lines) cost one small page per region, not a
+// flat table. Low pages — all simulated physical memory — sit in a dense
+// directory; high pages (TLB page numbers from high mmap addresses) fall
+// back to a map fronted by a one-entry page cache, mirroring LineSet.
+const (
+	wayMapPageShift  = 12
+	wayMapPageLines  = 1 << wayMapPageShift
+	wayMapDenseLimit = 1 << 19 // lines below 2^31 = 128 GiB of PA
+)
+
+type wayMapPage [wayMapPageLines]uint8
+
+type wayMap struct {
+	dense []*wayMapPage
+	far   map[uint64]*wayMapPage
+
+	// One-entry cache for far pages only; the dense directory is indexed
+	// directly (two dependent loads beat a frequently-mispredicted cache
+	// check when probes alternate between regions).
+	lastIdx  uint64
+	lastPage *wayMapPage
+}
+
+func (m *wayMap) page(p uint64) *wayMapPage {
+	if p < wayMapDenseLimit {
+		if p < uint64(len(m.dense)) {
+			return m.dense[p]
+		}
+		return nil
+	}
+	if p == m.lastIdx && m.lastPage != nil {
+		return m.lastPage
+	}
+	if m.far == nil {
+		return nil
+	}
+	pg := m.far[p]
+	if pg != nil {
+		m.lastIdx, m.lastPage = p, pg
+	}
+	return pg
+}
+
+// get returns 1 + the way holding line, or 0 when the line is absent.
+func (m *wayMap) get(line uint64) uint8 {
+	p := line >> wayMapPageShift
+	if p < uint64(len(m.dense)) {
+		if pg := m.dense[p]; pg != nil {
+			return pg[line&(wayMapPageLines-1)]
+		}
+		return 0
+	}
+	if p < wayMapDenseLimit {
+		return 0
+	}
+	if pg := m.page(p); pg != nil {
+		return pg[line&(wayMapPageLines-1)]
+	}
+	return 0
+}
+
+// set records line as resident in way (stored as way+1).
+func (m *wayMap) set(line uint64, way int) {
+	p := line >> wayMapPageShift
+	pg := m.page(p)
+	if pg == nil {
+		pg = new(wayMapPage)
+		if p < wayMapDenseLimit {
+			for uint64(len(m.dense)) <= p {
+				m.dense = append(m.dense, nil)
+			}
+			m.dense[p] = pg
+		} else {
+			if m.far == nil {
+				m.far = make(map[uint64]*wayMapPage)
+			}
+			m.far[p] = pg
+		}
+		m.lastIdx, m.lastPage = p, pg
+	}
+	pg[line&(wayMapPageLines-1)] = uint8(way + 1)
+}
+
+// clear removes line from the index.
+func (m *wayMap) clear(line uint64) {
+	if pg := m.page(line >> wayMapPageShift); pg != nil {
+		pg[line&(wayMapPageLines-1)] = 0
+	}
+}
+
+// clearAll empties the index, keeping allocated pages for reuse.
+func (m *wayMap) clearAll() {
+	for _, pg := range m.dense {
+		if pg != nil {
+			*pg = wayMapPage{}
+		}
+	}
+	for _, pg := range m.far {
+		*pg = wayMapPage{}
+	}
+}

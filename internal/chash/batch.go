@@ -1,0 +1,35 @@
+package chash
+
+// SliceOfBatch resolves the slice index of every physical address in pas
+// into out[i], producing exactly Slice(pas[i]) for each element. out must
+// be at least as long as pas.
+//
+// This is the batched slice-hash pass of the struct-of-arrays pipeline: a
+// DMA burst expands into a contiguous run of line addresses, and one call
+// resolves them all with the family dispatch (XOR vs generalized vs
+// fallback) hoisted out of the loop. The tables are immutable, so the pass
+// is safe for concurrent readers like the scalar Slice.
+func (l *SliceLUT) SliceOfBatch(pas []uint64, out []int) {
+	out = out[:len(pas)]
+	if l.fallback != nil {
+		for i, pa := range pas {
+			out[i] = l.fallback.Slice(pa)
+		}
+		return
+	}
+	if l.gen == 0 {
+		for i, pa := range pas {
+			out[i] = int(l.t0[pa&0xff] ^ l.t1[pa>>8&0xff] ^ l.t2[pa>>16&0xff] ^ l.t3[pa>>24&0xff] ^ l.t4[pa>>32&0xff])
+		}
+		return
+	}
+	for i, pa := range pas {
+		p := l.t0[pa&0xff] ^ l.t1[pa>>8&0xff] ^ l.t2[pa>>16&0xff] ^ l.t3[pa>>24&0xff] ^ l.t4[pa>>32&0xff]
+		v := (pa >> 6) | uint64(p)<<48
+		v += 0x9e3779b97f4a7c15
+		v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+		v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+		v ^= v >> 31
+		out[i] = int(v % l.gen)
+	}
+}

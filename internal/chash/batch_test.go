@@ -1,0 +1,97 @@
+package chash
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fallbackHash is a Hash implementation the LUT doesn't recognize, forcing
+// the delegation path.
+type fallbackHash struct{}
+
+func (fallbackHash) Slice(pa uint64) int { return int(pa>>6) % 3 }
+func (fallbackHash) Slices() int         { return 3 }
+
+// TestSliceOfBatchMatchesScalar sweeps every hash family the simulator
+// ships — both arch profiles' hashes (Haswell 8-slice XOR, Skylake-class
+// generalized), the 2-slice XOR, non-power-of-two generalized counts, and
+// an unknown fallback implementation — over random and structured
+// addresses, requiring SliceOfBatch to agree with Slice element for
+// element, including empty, single-element and oddball-tail batches.
+func TestSliceOfBatchMatchesScalar(t *testing.T) {
+	hashes := map[string]Hash{
+		"haswell8": Haswell8(),
+		"sandy2":   Sandy2(),
+		"fallback": fallbackHash{},
+	}
+	for _, n := range []int{6, 10, 12, 14, 28} {
+		h, err := NewGeneralizedHash(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[fmt.Sprintf("generalized%d", n)] = h
+	}
+	for _, slices := range []int{2, 4, 8, 6, 12} {
+		h, err := ForProfileSlices(slices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[fmt.Sprintf("profile%d", slices)] = h
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for name, h := range hashes {
+		t.Run(name, func(t *testing.T) {
+			lut := NewSliceLUT(h)
+			for _, size := range []int{0, 1, 2, 31, 33, 256, 1000} {
+				pas := make([]uint64, size)
+				for i := range pas {
+					switch i % 3 {
+					case 0: // contiguous lines, the DMA-burst shape
+						pas[i] = 0x1_0000_0000 + uint64(i)*64
+					case 1: // random full-width addresses
+						pas[i] = rng.Uint64()
+					default: // low addresses
+						pas[i] = uint64(rng.Intn(1 << 20))
+					}
+				}
+				out := make([]int, size)
+				lut.SliceOfBatch(pas, out)
+				for i, pa := range pas {
+					if want := lut.Slice(pa); out[i] != want {
+						t.Fatalf("size=%d: SliceOfBatch[%d](%#x) = %d, Slice = %d", size, i, pa, out[i], want)
+					}
+					if want := h.Slice(pa); out[i] != want {
+						t.Fatalf("size=%d: SliceOfBatch[%d](%#x) = %d, wrapped hash = %d", size, i, pa, out[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSliceOfBatch measures the batched pass against per-call Slice
+// on a DMA-burst-shaped address run.
+func BenchmarkSliceOfBatch(b *testing.B) {
+	lut := NewSliceLUT(Haswell8())
+	pas := make([]uint64, 256)
+	for i := range pas {
+		pas[i] = 0x2_0000_0000 + uint64(i)*64
+	}
+	out := make([]int, len(pas))
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lut.SliceOfBatch(pas, out)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, pa := range pas {
+				out[j] = lut.Slice(pa)
+			}
+		}
+	})
+}

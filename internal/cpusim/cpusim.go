@@ -29,6 +29,20 @@ type Machine struct {
 	Space   *phys.Space
 
 	cores []*Core
+
+	// privLines is a one-sided filter over lines that have ever been filled
+	// into any core's L1 or L2. A clear bit proves no private cache holds
+	// the line, so the DMA and back-invalidation paths can skip the
+	// 2×cores invalidate sweep for lines no core ever touched — the common
+	// case for packet-payload lines, which only the NIC writes. A set bit
+	// is never cleared per-line (the line may since have been evicted), so
+	// the filter only ever admits extra no-op invalidations, never skips a
+	// required one.
+	privLines cachesim.LineSet
+
+	// Scratch for the batched DMA pass (addresses and their hashed slices).
+	dmaPAs    []uint64
+	dmaSlices []int
 }
 
 // AccessStats counts where a core's memory accesses were served from.
@@ -55,6 +69,7 @@ type Core struct {
 	stats    AccessStats
 	prefetch *prefetchState // nil when hardware prefetching is disabled
 	tlb      *tlbState      // nil when TLB modelling is disabled
+	lastMap  *phys.Mapping  // last mapping translated through (immutable)
 }
 
 // DefaultMemoryBytes is the simulated DRAM capacity (the paper's testbed
@@ -138,6 +153,9 @@ func (m *Machine) ResetCaches() {
 		c.l2.FlushAll()
 		c.stats = AccessStats{}
 	}
+	// Every private cache is now empty, so the one-sided filter may start
+	// over exact.
+	m.privLines.Clear()
 }
 
 // DMAWrite models the NIC writing size bytes at physical address pa: every
@@ -156,13 +174,31 @@ func (m *Machine) DMAWriteMasked(pa uint64, size int, mask cachesim.WayMask) {
 	}
 	first := pa >> 6
 	last := (pa + uint64(size) - 1) >> 6
-	for line := first; line <= last; line++ {
-		addr := line << 6
-		for _, c := range m.cores {
-			c.l1.Invalidate(line)
-			c.l2.Invalidate(line)
+	n := int(last - first + 1)
+
+	// Batched slice-hash pass: expand the write into its line addresses and
+	// resolve every home slice in one LUT sweep, then fill each line in the
+	// original order (fill order is pinned — LRU ages within a slice depend
+	// on it).
+	if cap(m.dmaPAs) < n {
+		m.dmaPAs = make([]uint64, n)
+		m.dmaSlices = make([]int, n)
+	}
+	pas, slices := m.dmaPAs[:n], m.dmaSlices[:n]
+	for i := range pas {
+		pas[i] = (first + uint64(i)) << 6
+	}
+	m.LLC.SliceOfBatch(pas, slices)
+
+	for i := 0; i < n; i++ {
+		line := first + uint64(i)
+		if m.privLines.Has(line) {
+			for _, c := range m.cores {
+				c.l1.Invalidate(line)
+				c.l2.Invalidate(line)
+			}
 		}
-		v, _ := m.LLC.DMAInsertMasked(addr, mask)
+		v, _ := m.LLC.DMAInsertAt(slices[i], pas[i], mask)
 		m.backInvalidate(v)
 	}
 }
@@ -171,6 +207,9 @@ func (m *Machine) DMAWriteMasked(pa uint64, size int, mask cachesim.WayMask) {
 // copies of the victim line are dropped from every core.
 func (m *Machine) backInvalidate(v cachesim.Victim) {
 	if !v.Evicted || m.Profile.LLCMode != arch.Inclusive {
+		return
+	}
+	if !m.privLines.Has(v.Line) {
 		return
 	}
 	for _, c := range m.cores {
@@ -286,6 +325,7 @@ func (c *Core) access(pa uint64, write bool) uint64 {
 
 // fillL1 allocates a line into L1, draining any dirty victim into L2.
 func (c *Core) fillL1(line uint64, dirty bool) {
+	c.m.privLines.Add(line)
 	v := c.l1.Insert(line, dirty, cachesim.AllWays)
 	if v.Evicted && v.Dirty {
 		// Write-back to L2 proceeds in the background; the store buffer
@@ -296,6 +336,7 @@ func (c *Core) fillL1(line uint64, dirty bool) {
 
 // fillL2 allocates a line into L2 (clean path from a demand fill).
 func (c *Core) fillL2(line uint64, dirty bool) {
+	c.m.privLines.Add(line)
 	v := c.l2.Insert(line, dirty, cachesim.AllWays)
 	if v.Evicted {
 		c.handleL2Victim(v)
@@ -304,6 +345,7 @@ func (c *Core) fillL2(line uint64, dirty bool) {
 
 // fillL2FromVictim sinks a dirty L1 victim into L2.
 func (c *Core) fillL2FromVictim(line uint64) {
+	c.m.privLines.Add(line)
 	v := c.l2.Insert(line, true, cachesim.AllWays)
 	if v.Evicted {
 		c.handleL2Victim(v)

@@ -1,0 +1,38 @@
+package dpdk
+
+import "sliceaware/internal/trace"
+
+// Batch RX entry points: the steering decision for a whole burst is a pure
+// array pass when the port hashes with RSS, so the netsim batch pipeline
+// resolves every packet's queue up front and each Deliver skips the switch
+// on steering mode. FlowDirector cannot be presteered — its table installs
+// a rule the first time a flow is seen, so steering a packet early would
+// install rules for frames the NIC later rejects (wire drop / FCS) in a
+// different order than the scalar path.
+
+// CanPresteer reports whether SteerBatch may resolve queues ahead of
+// delivery: true only when steering is a pure function of the packet.
+func (p *Port) CanPresteer() bool { return p.steering != FlowDirector }
+
+// SteerBatch resolves the RX queue of every packet into out (parallel to
+// pkts). It must not be called unless CanPresteer reports true. No NIC
+// state is consulted or mutated and no fault randomness is drawn, so
+// presteering an entire burst before the first delivery is byte-identical
+// to steering each packet at its arrival instant.
+func (p *Port) SteerBatch(pkts []trace.Packet, out []int32) {
+	if p.steering == FlowDirector {
+		panic("dpdk: SteerBatch on a FlowDirector port (stateful steering)")
+	}
+	nq := uint64(p.queues)
+	for i := range pkts {
+		out[i] = int32(rssHash(pkts[i]) % nq)
+	}
+}
+
+// DeliverPresteered is Deliver with the queue already resolved by
+// SteerBatch. The wire-loss and corruption draws still happen first — they
+// precede steering on the scalar path — and everything after queue
+// assignment is the same code.
+func (p *Port) DeliverPresteered(pkt trace.Packet, q int) (queue int, ok bool) {
+	return p.deliver(pkt, q)
+}

@@ -332,6 +332,12 @@ func rssHash(pkt trace.Packet) uint64 {
 // the RX ring. Returns the queue used and whether the packet was accepted
 // (queue is -1 when the frame never reached queue assignment).
 func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
+	return p.deliver(pkt, -1)
+}
+
+// deliver is the shared RX path behind Deliver and DeliverPresteered. pre,
+// when >= 0, is a queue already resolved by SteerBatch; -1 steers here.
+func (p *Port) deliver(pkt trace.Packet, pre int) (queue int, ok bool) {
 	// Wire loss and FCS rejection happen before steering: a frame the NIC
 	// never accepts installs no FlowDirector rule and allocates no mbuf.
 	if p.faults.Fire(faults.NICDrop) {
@@ -342,7 +348,10 @@ func (p *Port) Deliver(pkt trace.Packet) (queue int, ok bool) {
 		p.drop(&p.stats.RxDropCorrupt, errCorruptDrop, p.tm.dropCorrupt, 0)
 		return -1, false
 	}
-	q := p.SteerQueue(pkt)
+	q := pre
+	if q < 0 {
+		q = p.SteerQueue(pkt)
+	}
 
 	// AQM admission runs after steering and before buffer allocation: an
 	// early drop costs no mempool slot and pollutes no LLC line with DDIO

@@ -49,10 +49,11 @@ type SlicedLLC struct {
 	// Leaky-DMA bookkeeping. dmaUnread holds DMA-filled lines no core has
 	// read yet; dmaLeaked holds lines that were evicted while still unread,
 	// so the eventual first-touch miss can be attributed to the leak. Both
-	// maps are membership-only (never iterated), keeping runs deterministic,
-	// and both are bounded by mbuf-pool line recycling.
-	dmaUnread map[uint64]struct{}
-	dmaLeaked map[uint64]struct{}
+	// sets are membership-only paged bitmaps — O(1) probe/add/remove with
+	// no hashing on the DMA hot path — and both are bounded by mbuf-pool
+	// line recycling.
+	dmaUnread cachesim.LineSet
+	dmaLeaked cachesim.LineSet
 	perCore   []FirstTouchStats
 	reconfig  func(effectiveWays int)
 }
@@ -64,14 +65,12 @@ func New(p *arch.Profile, h chash.Hash) (*SlicedLLC, error) {
 		return nil, fmt.Errorf("llc: hash covers %d slices, profile has %d", h.Slices(), p.Slices)
 	}
 	l := &SlicedLLC{
-		hash:      h,
-		slicer:    chash.NewSliceLUT(h),
-		slices:    make([]*cachesim.Cache, p.Slices),
-		events:    make([]CBoEvents, p.Slices),
-		ddioMask:  cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
-		lineBits:  6,
-		dmaUnread: make(map[uint64]struct{}),
-		dmaLeaked: make(map[uint64]struct{}),
+		hash:     h,
+		slicer:   chash.NewSliceLUT(h),
+		slices:   make([]*cachesim.Cache, p.Slices),
+		events:   make([]CBoEvents, p.Slices),
+		ddioMask: cachesim.MaskOfWayRange(p.LLCSlice.Ways-p.DDIOWays, p.LLCSlice.Ways),
+		lineBits: 6,
 	}
 	for i := range l.slices {
 		c, err := cachesim.New(fmt.Sprintf("LLC-slice-%d", i), p.LLCSlice.Sets(), p.LLCSlice.Ways)
@@ -94,6 +93,11 @@ func (l *SlicedLLC) Hash() chash.Hash { return l.hash }
 // the precomputed LUT, which agrees with Hash() on every address.
 func (l *SlicedLLC) SliceOf(pa uint64) int { return l.slicer.Slice(pa) }
 
+// SliceOfBatch resolves the slice of every address in pas into out[i] —
+// the batched slice-hash pass, one LUT sweep with the hash-family dispatch
+// hoisted out of the loop. out must be at least as long as pas.
+func (l *SlicedLLC) SliceOfBatch(pas []uint64, out []int) { l.slicer.SliceOfBatch(pas, out) }
+
 // line converts a physical address to a line number.
 func (l *SlicedLLC) line(pa uint64) uint64 { return pa >> l.lineBits }
 
@@ -114,15 +118,13 @@ func (l *SlicedLLC) LookupCore(core int, pa uint64, write bool) (hit bool, slice
 	line := l.line(pa)
 	hit = l.slices[slice].Lookup(line, write)
 	if hit {
-		if _, unread := l.dmaUnread[line]; unread {
-			delete(l.dmaUnread, line)
+		if l.dmaUnread.Remove(line) {
 			l.events[slice].DDIOFirstTouchHits++
 			l.firstTouch(core).Hits++
 		}
 	} else {
 		l.events[slice].Misses++
-		if _, leaked := l.dmaLeaked[line]; leaked {
-			delete(l.dmaLeaked, line)
+		if l.dmaLeaked.Remove(line) {
 			l.events[slice].DDIOMissedFirstTouch++
 			l.firstTouch(core).Misses++
 		}
@@ -163,9 +165,8 @@ func (l *SlicedLLC) noteEviction(slice int, v cachesim.Victim) {
 		return
 	}
 	l.events[slice].Evictions++
-	if _, unread := l.dmaUnread[v.Line]; unread {
-		delete(l.dmaUnread, v.Line)
-		l.dmaLeaked[v.Line] = struct{}{}
+	if l.dmaUnread.Remove(v.Line) {
+		l.dmaLeaked.Add(v.Line)
 		l.events[slice].DDIOEvictUnread++
 	}
 }
@@ -178,8 +179,8 @@ func (l *SlicedLLC) Insert(pa uint64, dirty bool, mask cachesim.WayMask) (caches
 	l.noteEviction(slice, v)
 	// A core-side fill of this line means the core has its data some other
 	// way; stop tracking it without counting a leak either way.
-	delete(l.dmaUnread, line)
-	delete(l.dmaLeaked, line)
+	l.dmaUnread.Remove(line)
+	l.dmaLeaked.Remove(line)
 	return v, slice
 }
 
@@ -195,18 +196,26 @@ func (l *SlicedLLC) DMAInsert(pa uint64) (cachesim.Victim, int) {
 // zero mask falls back to the socket-wide DDIO mask, so untagged traffic
 // behaves exactly as before.
 func (l *SlicedLLC) DMAInsertMasked(pa uint64, mask cachesim.WayMask) (cachesim.Victim, int) {
+	return l.DMAInsertAt(l.SliceOf(pa), pa, mask)
+}
+
+// DMAInsertAt is DMAInsertMasked with the owning slice already resolved —
+// the per-line step of the batched DMA pass, which hashes a whole burst of
+// line addresses with SliceOfBatch and then fills each line here. slice
+// must equal SliceOf(pa); the semantics and counters are exactly those of
+// DMAInsertMasked.
+func (l *SlicedLLC) DMAInsertAt(slice int, pa uint64, mask cachesim.WayMask) (cachesim.Victim, int) {
 	if mask == 0 {
 		mask = l.ddioMask
 	}
-	slice := l.SliceOf(pa)
 	line := l.line(pa)
 	v := l.slices[slice].Insert(line, true, mask)
 	l.events[slice].DDIOFills++
 	l.noteEviction(slice, v)
 	// Fresh DMA data, not yet read by any core. A re-DMA of a recycled mbuf
 	// line supersedes any stale pending first-touch miss.
-	l.dmaUnread[line] = struct{}{}
-	delete(l.dmaLeaked, line)
+	l.dmaUnread.Add(line)
+	l.dmaLeaked.Remove(line)
 	return v, slice
 }
 
@@ -253,8 +262,8 @@ func (l *SlicedLLC) DDIOOccupancy() []int {
 // Invalidate removes pa from its slice (clflush reaching the LLC level).
 func (l *SlicedLLC) Invalidate(pa uint64) (present, dirty bool) {
 	line := l.line(pa)
-	delete(l.dmaUnread, line)
-	delete(l.dmaLeaked, line)
+	l.dmaUnread.Remove(line)
+	l.dmaLeaked.Remove(line)
 	return l.slices[l.SliceOf(pa)].Invalidate(line)
 }
 
@@ -263,8 +272,8 @@ func (l *SlicedLLC) FlushAll() {
 	for _, s := range l.slices {
 		s.FlushAll()
 	}
-	l.dmaUnread = make(map[uint64]struct{})
-	l.dmaLeaked = make(map[uint64]struct{})
+	l.dmaUnread.Clear()
+	l.dmaLeaked.Clear()
 }
 
 // Events returns a copy of the CBo counters for one slice.

@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+
+	"sliceaware/internal/trace"
+)
+
+// CoreMode selects which run-path implementation drives the simulator.
+// The two paths are property-tested to produce bit-identical Results and
+// machine state; the switch exists so any regression can be bisected by
+// flipping a flag, and so CI can pin the golden figures on both paths.
+type CoreMode int
+
+const (
+	// CoreBatch is the struct-of-arrays batch pipeline: generation and
+	// pacing filled into a Burst up front, steering resolved as one array
+	// pass when the port allows it, arrivals replayed through the shared
+	// event core. The default.
+	CoreBatch CoreMode = iota
+	// CoreScalar is the per-packet reference path (RunRate/RunPPS), kept
+	// as the oracle the batch path is tested against.
+	CoreScalar
+)
+
+// String implements fmt.Stringer.
+func (m CoreMode) String() string {
+	if m == CoreScalar {
+		return "scalar"
+	}
+	return "batch"
+}
+
+// ParseCoreMode maps a -core flag or SLICEAWARE_CORE value to a CoreMode.
+// Empty selects the default (batch).
+func ParseCoreMode(s string) (CoreMode, error) {
+	switch s {
+	case "", "batch":
+		return CoreBatch, nil
+	case "scalar":
+		return CoreScalar, nil
+	}
+	return CoreBatch, fmt.Errorf("netsim: unknown core mode %q (want batch or scalar)", s)
+}
+
+// defaultCore is the process-wide run path, seeded from SLICEAWARE_CORE
+// (unknown values fall back to batch; drivers exposing a -core flag
+// validate loudly via ParseCoreMode).
+var defaultCore = func() CoreMode {
+	m, _ := ParseCoreMode(os.Getenv("SLICEAWARE_CORE"))
+	return m
+}()
+
+// DefaultCoreMode reports the process-wide run path.
+func DefaultCoreMode() CoreMode { return defaultCore }
+
+// SetDefaultCoreMode overrides the process-wide run path (drivers' -core
+// flag). Not safe to call concurrently with running experiments.
+func SetDefaultCoreMode(m CoreMode) { defaultCore = m }
+
+// RunRateMode is RunRate on the selected core implementation.
+func RunRateMode(mode CoreMode, d *DuT, gen trace.Generator, count int, offeredGbps float64) (Result, error) {
+	if mode == CoreScalar {
+		return RunRate(d, gen, count, offeredGbps)
+	}
+	return RunRateBatch(d, gen, count, offeredGbps)
+}
+
+// RunPPSMode is RunPPS on the selected core implementation.
+func RunPPSMode(mode CoreMode, d *DuT, gen trace.Generator, count int, pps float64) (Result, error) {
+	if mode == CoreScalar {
+		return RunPPS(d, gen, count, pps)
+	}
+	return RunPPSBatch(d, gen, count, pps)
+}
+
+// RunRateAuto is RunRate on the process-default core (what the experiment
+// drivers call, so SLICEAWARE_CORE / -core selects the path everywhere).
+func RunRateAuto(d *DuT, gen trace.Generator, count int, offeredGbps float64) (Result, error) {
+	return RunRateMode(defaultCore, d, gen, count, offeredGbps)
+}
+
+// RunPPSAuto is RunPPS on the process-default core.
+func RunPPSAuto(d *DuT, gen trace.Generator, count int, pps float64) (Result, error) {
+	return RunPPSMode(defaultCore, d, gen, count, pps)
+}

@@ -14,6 +14,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"sliceaware/internal/cpusim"
 	"sliceaware/internal/dpdk"
@@ -139,6 +140,17 @@ type DuT struct {
 	rxScratch []*dpdk.Mbuf // PMD burst buffer, reused across RxBurstInto calls
 	txScratch [1]*dpdk.Mbuf
 
+	// nextDue is a lower bound on the earliest instant any queued packet's
+	// service could begin (+Inf when all rings are empty). advanceTo skips
+	// the per-queue scan entirely when the target time hasn't reached it,
+	// which is most arrivals: at high offered rates many packets land
+	// between consecutive service completions.
+	nextDue float64
+
+	// burstScratch backs RunRateBatch/RunPPSBatch so repeated batch runs
+	// reuse one Burst's arrays instead of allocating per run.
+	burstScratch *Burst
+
 	latencies []float64 // ns residency per processed packet
 	processed uint64
 
@@ -208,6 +220,7 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 	if d.burst <= 0 {
 		d.burst = DefaultBurst
 	}
+	d.nextDue = math.Inf(1)
 	d.coreFree = make([]float64, cfg.Port.Queues())
 	d.arrivals = make([][]float64, cfg.Port.Queues())
 	d.recs = make([][]*telemetry.PacketRecord, cfg.Port.Queues())
@@ -241,6 +254,15 @@ func NewDuT(cfg DuTConfig) (*DuT, error) {
 // (processing whatever queued work starts before then), mirroring how the
 // real DuT overlaps reception with processing.
 func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
+	return d.arrive(&pkt, t, -1) == VerdictDelivered
+}
+
+// arrive is the shared arrival path behind Arrive and ArriveBurst. preQ,
+// when >= 0, is the RX queue already resolved by dpdk.SteerBatch (pure RSS
+// steering only); -1 makes the port steer at delivery. The packet is
+// mutated in place (timestamped), which lets the burst path stamp its
+// backing array without a copy.
+func (d *DuT) arrive(pkt *trace.Packet, t float64, preQ int) Verdict {
 	d.advanceTo(t)
 	// The LoadGen stamps the wire-arrival time here; generators leave
 	// Timestamp zero (see trace.Packet).
@@ -250,7 +272,10 @@ func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
 	if d.shed != nil || d.pressureCB != nil {
 		// Backpressure is read on the queue this packet would land on
 		// (SteerQueue is sticky, so the later Deliver resolves identically).
-		q := d.port.SteerQueue(pkt)
+		q := preQ
+		if q < 0 {
+			q = d.port.SteerQueue(*pkt)
+		}
 		occ := float64(d.port.RxQueueLen(q)) / float64(d.port.RxRingCap(q))
 		sojourn := 0.0
 		if len(d.arrivals[q]) > d.arrHead[q] {
@@ -282,19 +307,30 @@ func (d *DuT) Arrive(pkt trace.Packet, t float64) bool {
 			if d.ctrShed != nil {
 				d.ctrShed[class].Inc(q)
 			}
-			return false
+			return VerdictShed
 		}
 	}
-	q, ok := d.port.Deliver(pkt)
+	var q int
+	var ok bool
+	if preQ >= 0 {
+		q, ok = d.port.DeliverPresteered(*pkt, preQ)
+	} else {
+		q, ok = d.port.Deliver(*pkt)
+	}
 	if !ok {
 		d.tele.Flight().Drop(pkt.FlowID, pkt.Size, q, t, dropCause(d.port.LastDropCause()))
-		return false
+		return VerdictDropped
 	}
 	d.arrivals[q] = append(d.arrivals[q], t)
 	if f := d.tele.Flight(); f != nil {
 		d.recs[q] = append(d.recs[q], f.Arrive(pkt.FlowID, pkt.Size, q, t))
 	}
-	return true
+	// The enqueued packet can only lower the earliest service start if its
+	// queue was idle; min-updating keeps nextDue a valid lower bound.
+	if due := max(d.coreFree[q], t); due < d.nextDue {
+		d.nextDue = due
+	}
+	return VerdictDelivered
 }
 
 // dropCause maps the port's drop error to the flight recorder's short
@@ -321,11 +357,35 @@ func dropCause(err error) string {
 }
 
 // advanceTo processes, on every queue, all packets whose service would
-// begin before time t.
+// begin before time t. The nextDue bound short-circuits the common case
+// where no queued packet is due yet.
 func (d *DuT) advanceTo(t float64) {
+	if t <= d.nextDue {
+		return
+	}
 	for q := range d.coreFree {
 		d.advanceQueue(q, t)
 	}
+	d.refreshNextDue()
+}
+
+// refreshNextDue recomputes the exact earliest service start across all
+// queues (+Inf when every ring is empty).
+func (d *DuT) refreshNextDue() {
+	nd := math.Inf(1)
+	for q := range d.coreFree {
+		if d.port.RxQueueLen(q) == 0 {
+			continue
+		}
+		s := d.coreFree[q]
+		if head := d.arrivals[q][d.arrHead[q]]; head > s {
+			s = head
+		}
+		if s < nd {
+			nd = s
+		}
+	}
+	d.nextDue = nd
 }
 
 func (d *DuT) advanceQueue(q int, t float64) {
@@ -345,6 +405,10 @@ func (d *DuT) advanceQueue(q int, t float64) {
 		d.rxScratch = d.port.RxBurstInto(q, n, d.rxScratch[:0])
 		ms := d.rxScratch
 		core := d.machine.Core(d.coreOffset + q)
+		if d.tele == nil {
+			d.serviceBurst(q, core, ms)
+			continue
+		}
 		for _, mb := range ms {
 			arr := d.arrivals[q][d.arrHead[q]]
 			d.arrHead[q]++
@@ -396,6 +460,38 @@ func (d *DuT) advanceQueue(q int, t float64) {
 	d.arrHead[q] = 0
 	d.recs[q] = d.recs[q][:0]
 	d.recHead[q] = 0
+}
+
+// serviceBurst is the telemetry-off service loop: the same per-packet
+// driver reads, chain run, overhead and timing arithmetic as the
+// instrumented loop — minus the record/histogram bookkeeping (all no-ops
+// when telemetry is off) — and one TxBurst for the whole PMD burst instead
+// of one per packet. TxBurst only counts bytes and returns mbufs to their
+// pools in slice order, and no mempool Get or injector draw intervenes
+// before the next delivery, so the batched transmit leaves pool and RNG
+// state byte-identical to per-packet transmits.
+func (d *DuT) serviceBurst(q int, core *cpusim.Core, ms []*dpdk.Mbuf) {
+	for _, mb := range ms {
+		arr := d.arrivals[q][d.arrHead[q]]
+		d.arrHead[q]++
+
+		before := core.Cycles()
+		core.Read(mb.BaseVA())
+		core.Read(mb.BaseVA() + 64)
+		d.chain.Process(core, mb)
+		core.AddCycles(d.overhead)
+		serviceNs := float64(core.Cycles()-before) / d.freq * 1e9
+		serviceNs *= d.faults.ServiceScale(q)
+
+		begin := d.coreFree[q]
+		if arr > begin {
+			begin = arr
+		}
+		d.coreFree[q] = begin + serviceNs
+		d.latencies = append(d.latencies, d.coreFree[q]-arr)
+		d.processed++
+	}
+	d.port.TxBurst(q, ms)
 }
 
 // finishRecord closes a packet's flight record: cycle-denominated NF
@@ -465,6 +561,15 @@ func (d *DuT) Reset() {
 		d.recs[q] = d.recs[q][:0]
 		d.recHead[q] = 0
 	}
+	// Batch scratch state: the next-due bound anchors to the simulated
+	// clock (which restarts at zero), so a stale value from the previous
+	// run would make advanceTo skip — or refuse to skip — work it
+	// shouldn't. The scratch burst's fill is likewise invalidated so a
+	// rerun must refill rather than replay stale verdicts.
+	d.nextDue = math.Inf(1)
+	if d.burstScratch != nil {
+		d.burstScratch.count = 0
+	}
 	// The simulated clock restarts at zero: clear the AQM disciplines'
 	// clock-anchored episode state (cumulative shed/ladder/breaker state
 	// deliberately survives — overload control remembers recent history
@@ -505,16 +610,7 @@ type Result struct {
 // offered. The steady-state throughput window skips the first quarter
 // (warm-up) and stops at the last arrival (excluding the drain tail).
 func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) float64) (Result, float64) {
-	before := d.port.Stats()
-	shedBefore := d.shedTotal
-	copy(d.shedBaseline, d.shedByClass)
-	// Reserve room for every offered packet up front so the per-packet
-	// append in advanceQueue never regrows mid-run.
-	if free := cap(d.latencies) - len(d.latencies); free < count {
-		grown := make([]float64, len(d.latencies), len(d.latencies)+count)
-		copy(grown, d.latencies)
-		d.latencies = grown
-	}
+	base := d.beginRun(count)
 	t := 0.0
 	var offeredBits float64
 	var windowStartNs float64
@@ -533,6 +629,34 @@ func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) floa
 	// the throughput measurement, then drain the leftovers.
 	d.advanceTo(t)
 	windowTx := d.port.Stats().TxBytes - windowStartTx
+	return d.endRun(base, count, t, windowStartNs, windowTx), offeredBits
+}
+
+// runBaseline snapshots the cumulative counters a run's Result is diffed
+// against (counters survive across back-to-back runs; Results don't).
+type runBaseline struct {
+	port dpdk.PortStats
+	shed uint64
+}
+
+// beginRun snapshots counters and reserves latency storage for count
+// packets so the per-packet append in advanceQueue never regrows mid-run.
+// Shared by the scalar runLoop and RunBurst.
+func (d *DuT) beginRun(count int) runBaseline {
+	base := runBaseline{port: d.port.Stats(), shed: d.shedTotal}
+	copy(d.shedBaseline, d.shedByClass)
+	if free := cap(d.latencies) - len(d.latencies); free < count {
+		grown := make([]float64, len(d.latencies), len(d.latencies)+count)
+		copy(grown, d.latencies)
+		d.latencies = grown
+	}
+	return base
+}
+
+// endRun drains the DuT and assembles the Result for a run whose last
+// arrival was at t, diffing cumulative counters against the beginRun
+// snapshot. Shared by the scalar runLoop and RunBurst.
+func (d *DuT) endRun(base runBaseline, count int, t, windowStartNs float64, windowTx uint64) Result {
 	end := d.Drain()
 	if end < t {
 		end = t
@@ -541,16 +665,16 @@ func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) floa
 	res := Result{
 		LatenciesNs: d.Latencies(),
 		OfferedPkts: count,
-		Delivered:   st.RxPackets - before.RxPackets,
-		Dropped:     st.RxDropped - before.RxDropped,
+		Delivered:   st.RxPackets - base.port.RxPackets,
+		Dropped:     st.RxDropped - base.port.RxDropped,
 		DurationNs:  end,
-		Shed:      d.shedTotal - shedBefore,
+		Shed:        d.shedTotal - base.shed,
 		DropBreakdown: dpdk.PortStats{
-			RxDropRing:    st.RxDropRing - before.RxDropRing,
-			RxDropPool:    st.RxDropPool - before.RxDropPool,
-			RxDropWire:    st.RxDropWire - before.RxDropWire,
-			RxDropCorrupt: st.RxDropCorrupt - before.RxDropCorrupt,
-			RxDropAQM:     st.RxDropAQM - before.RxDropAQM,
+			RxDropRing:    st.RxDropRing - base.port.RxDropRing,
+			RxDropPool:    st.RxDropPool - base.port.RxDropPool,
+			RxDropWire:    st.RxDropWire - base.port.RxDropWire,
+			RxDropCorrupt: st.RxDropCorrupt - base.port.RxDropCorrupt,
+			RxDropAQM:     st.RxDropAQM - base.port.RxDropAQM,
 		},
 		FaultCounts: d.faults.Counts(),
 	}
@@ -563,7 +687,7 @@ func runLoop(d *DuT, gen trace.Generator, count int, gap func(trace.Packet) floa
 	if window := t - windowStartNs; window > 0 {
 		res.AchievedGbps = float64(windowTx) * 8 / window
 	}
-	return res, offeredBits
+	return res
 }
 
 // RunRate offers count packets from gen at offeredGbps, paced by wire size

@@ -126,6 +126,24 @@ func (s *Space) TranslateFull(va uint64) (pa, pageSize uint64, err error) {
 	return m.PhysBase + (va - m.VirtBase), m.PageSize, nil
 }
 
+// Lookup returns the mapping containing va. Mappings are immutable and
+// never unmapped, so callers may cache the result and translate within it
+// arithmetically (PhysBase + offset) without re-consulting the pagemap —
+// the simulated analogue of a core's cached translation.
+func (s *Space) Lookup(va uint64) (*Mapping, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.mappings), func(i int) bool { return s.mappings[i].VirtBase > va })
+	if i == 0 {
+		return nil, fmt.Errorf("phys: translate %#x: unmapped", va)
+	}
+	m := s.mappings[i-1]
+	if va >= m.VirtBase+m.Size {
+		return nil, fmt.Errorf("phys: translate %#x: unmapped", va)
+	}
+	return m, nil
+}
+
 // Contains reports whether va falls inside the mapping.
 func (m *Mapping) Contains(va uint64) bool {
 	return va >= m.VirtBase && va < m.VirtBase+m.Size
